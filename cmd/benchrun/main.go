@@ -1,0 +1,99 @@
+// Command benchrun regenerates the paper's tables and figures (§5 plus
+// the numeric claims in the text). Each experiment is identified by the
+// paper artifact it reproduces; see DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	benchrun -exp all
+//	benchrun -exp fig7 -scale 11 -repeat 3
+//	benchrun -exp table1 | fig6left | fig6right | fig7 | fig4 | sec22 | sec33 | valueshare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xquec/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, fig6left, fig6right, fig7, fig4, sec22, sec33, valueshare, all)")
+	scale := flag.Float64("scale", 11, "XMark scale for fig7/fig4 (11 = the paper's XMark11)")
+	repeat := flag.Int("repeat", 3, "repetitions per query timing")
+	sweep := flag.String("sweep", "1,5,10,25", "XMark scales for fig6right/sec22")
+	flag.Parse()
+
+	run := func(id string) error {
+		switch id {
+		case "table1":
+			return show("Table 1 — data sets", func() ([]experiments.Row, error) {
+				return experiments.Table1(*scale)
+			})
+		case "fig6left":
+			return show("Figure 6 (left) — CF on real-life corpora", experiments.Figure6Left)
+		case "fig6right":
+			return show("Figure 6 (right) — CF on XMark documents", func() ([]experiments.Row, error) {
+				return experiments.Figure6Right(parseScales(*sweep))
+			})
+		case "fig7":
+			return show(fmt.Sprintf("Figure 7 — QETs on XMark%g, XQueC vs Galax-like", *scale),
+				func() ([]experiments.Row, error) { return experiments.Figure7(*scale, *repeat) })
+		case "fig4":
+			return show("Figure 4 / §2.3 — Q14 access patterns", func() ([]experiments.Row, error) {
+				return experiments.Figure4Q14(*scale)
+			})
+		case "sec22":
+			return show("§2.2 — storage footprint", func() ([]experiments.Row, error) {
+				return experiments.Section22(parseScales(*sweep))
+			})
+		case "sec33":
+			return show("§3.3 — partitioning example (NaiveConf vs GoodConf)", func() ([]experiments.Row, error) {
+				return experiments.Section33(0)
+			})
+		case "valueshare":
+			return show("§1 — value share of documents", experiments.ValueShare)
+		}
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "valueshare", "fig6left", "fig6right", "sec22", "sec33", "fig4", "fig7"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func show(title string, fn func() ([]experiments.Row, error)) error {
+	fmt.Printf("== %s ==\n", title)
+	rows, err := fn()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Println()
+	return nil
+}
+
+func parseScales(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: bad scale %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Command xmlgen generates the experimental corpora: XMark-style
+// auction documents (a substitute for the original xmlgen of the XMark
+// project) and the three real-life data-set substitutes of Figure 6.
+//
+// Usage:
+//
+//	xmlgen -kind xmark -scale 11 -seed 2004 -o auction.xml
+//	xmlgen -kind shakespeare -bytes 7500000 -o shakespeare.xml
+//	xmlgen -kind washington  -bytes 2900000 -o courses.xml
+//	xmlgen -kind baseball    -bytes 650000  -o baseball.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xquec/internal/datagen"
+)
+
+func main() {
+	kind := flag.String("kind", "xmark", "xmark, shakespeare, washington, or baseball")
+	scale := flag.Float64("scale", 1, "XMark scale factor (≈ megabytes)")
+	size := flag.Int("bytes", 1_000_000, "target size for the real-life substitutes")
+	seed := flag.Int64("seed", 2004, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var doc []byte
+	switch *kind {
+	case "xmark":
+		doc = datagen.XMark(datagen.XMarkConfig{Scale: *scale, Seed: *seed})
+	case "shakespeare":
+		doc = datagen.Shakespeare(*size, *seed)
+	case "washington":
+		doc = datagen.WashingtonCourse(*size, *seed)
+	case "baseball":
+		doc = datagen.Baseball(*size, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(doc), *out)
+}

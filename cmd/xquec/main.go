@@ -1,0 +1,183 @@
+// Command xquec compresses XML documents into queryable XQueC
+// repositories and runs XQuery over them.
+//
+// Usage:
+//
+//	xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
+//	xquec query    [-q query | -f query.xq] repo.xqc
+//	xquec stats    repo.xqc
+//	xquec decompress repo.xqc        # reconstruct the XML
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xquec"
+	"xquec/internal/storage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xquec:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
+  xquec query    [-q query | -f query.xq] repo.xqc
+  xquec stats    repo.xqc
+  xquec explain  -q query repo.xqc
+  xquec decompress repo.xqc`)
+	os.Exit(2)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	out := fs.String("o", "", "output repository file (default: input + .xqc)")
+	alg := fs.String("alg", "", "default string algorithm (alm, huffman, hutucker, blob)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compress needs one input document")
+	}
+	in := fs.Arg(0)
+	doc, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	var opts xquec.Options
+	if *alg != "" {
+		opts.Plan = &xquec.CompressionPlan{DefaultAlgorithm: *alg}
+	}
+	db, err := xquec.Compress(doc, opts)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = in + ".xqc"
+	}
+	if err := db.SaveFile(dst); err != nil {
+		return err
+	}
+	st := db.Stats()
+	fmt.Printf("%s -> %s\n%s\n", in, dst, st)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	q := fs.String("q", "", "query text")
+	qf := fs.String("f", "", "file containing the query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query needs one repository file")
+	}
+	if *q == "" && *qf == "" {
+		return fmt.Errorf("provide -q or -f")
+	}
+	if *qf != "" {
+		b, err := os.ReadFile(*qf)
+		if err != nil {
+			return err
+		}
+		*q = string(b)
+	}
+	db, err := xquec.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	res, err := db.Query(*q)
+	if err != nil {
+		return err
+	}
+	out, err := res.SerializeXML()
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	fmt.Fprintf(os.Stderr, "-- %d items\n", res.Len())
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	q := fs.String("q", "", "query text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *q == "" {
+		return fmt.Errorf("explain needs -q and one repository file")
+	}
+	db, err := xquec.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	plan, err := db.Explain(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stats needs one repository file")
+	}
+	db, err := xquec.Open(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(db.Stats())
+	fmt.Println("containers:")
+	for _, c := range db.Containers() {
+		fmt.Printf("  %-60s %-8s %-9s recs=%-7d %dB\n",
+			c.Path, c.Kind, c.Algorithm, c.Records, c.Bytes)
+	}
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("decompress needs one repository file")
+	}
+	s, err := storage.OpenFile(args[0])
+	if err != nil {
+		return err
+	}
+	out, err := s.Serialize(nil, 1)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.Write(out)
+	fmt.Println(sb.String())
+	return nil
+}

@@ -1,0 +1,88 @@
+package xquec_test
+
+import (
+	"fmt"
+	"log"
+
+	"xquec"
+)
+
+const catalog = `<catalog>
+  <book year="2000"><title>XMill</title><price>42.50</price></book>
+  <book year="2002"><title>XGrind</title><price>28.00</price></book>
+  <book year="2004"><title>XQueC</title><price>45.00</price></book>
+</catalog>`
+
+// Compress a document and evaluate a query whose range predicate runs
+// in the compressed domain.
+func Example() {
+	db, err := xquec.Compress([]byte(catalog), xquec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`
+	  FOR $b IN document("catalog.xml")/catalog/book
+	  WHERE $b/price >= 40
+	  RETURN $b/title/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := res.SerializeXML()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+	// Output:
+	// XMill
+	// XQueC
+}
+
+// Aggregates and constructors work over the compressed containers; only
+// serialized output is decompressed.
+func ExampleDatabase_Query() {
+	db, err := xquec.Compress([]byte(catalog), xquec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := db.MustQuery(`<summary books="{count(/catalog/book)}" total="{sum(/catalog/book/price)}"/>`)
+	out, _ := res.SerializeXML()
+	fmt.Println(out)
+	// Output:
+	// <summary books="3" total="115.5"/>
+}
+
+// Explain shows the plan without running the query: which accesses hit
+// the structure summary and which predicates stay compressed.
+func ExampleDatabase_Explain() {
+	db, err := xquec.Compress([]byte(catalog), xquec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := db.Explain(`FOR $b IN /catalog/book WHERE $b/price >= 40 RETURN $b/title/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+	// Output:
+	// FLWOR
+	//   FOR $b IN /catalog/book: StructureSummaryAccess /catalog/book (3 nodes)
+	//     pushdown ($b/price >= 40) -> /catalog/book/price/#text [decimal, ContAccess range on compressed bytes]
+	//   RETURN
+	//     Path $b/title/text(): summary-guided navigation /catalog/book/title (3 nodes)
+}
+
+// ExampleDatabase_Containers inspects the per-path containers and the
+// algorithms chosen for them.
+func ExampleDatabase_Containers() {
+	db, err := xquec.Compress([]byte(catalog), xquec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range db.Containers() {
+		fmt.Printf("%s %s/%s\n", c.Path, c.Kind, c.Algorithm)
+	}
+	// Output:
+	// /catalog/book/@year int/int
+	// /catalog/book/title/#text string/alm
+	// /catalog/book/price/#text decimal/decimal
+}

@@ -1,0 +1,61 @@
+// Quickstart: compress a small XML document into an XQueC repository,
+// query it in the compressed domain, and show the compression stats.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xquec"
+)
+
+const doc = `<library>
+  <book year="1999"><title>Compressing Relations and Indexes</title><price>35.00</price></book>
+  <book year="2000"><title>XMill: an Efficient Compressor for XML</title><price>42.50</price></book>
+  <book year="2002"><title>XGRIND: a Query-Friendly XML Compressor</title><price>28.00</price></book>
+  <book year="2003"><title>XPRESS: a Queriable Compression for XML</title><price>31.00</price></book>
+  <book year="2004"><title>Efficient Query Evaluation over Compressed XML</title><price>45.00</price></book>
+</library>`
+
+func main() {
+	// 1. Compress. With no workload, strings get one ALM (order-
+	// preserving) source model per container and numeric values get
+	// typed order-preserving codecs.
+	db, err := xquec.Compress([]byte(doc), xquec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stats:", db.Stats())
+	fmt.Println("(tiny inputs are dominated by the source models; compression")
+	fmt.Println(" pays off from a few kilobytes up — see examples/auctionsite)")
+	for _, c := range db.Containers() {
+		fmt.Printf("  container %-35s kind=%-7s algorithm=%s\n", c.Path, c.Kind, c.Algorithm)
+	}
+
+	// 2. Query. The price comparison runs on compressed bytes (the
+	// decimal codec is order-preserving); only the returned titles are
+	// decompressed.
+	res, err := db.Query(`
+	  FOR $b IN document("library.xml")/library/book
+	  WHERE $b/price >= 32 AND $b/@year >= 2000
+	  RETURN $b/title/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := res.SerializeXML()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbooks >= 32.00 published since 2000:")
+	fmt.Println(out)
+
+	// 3. Aggregate in one expression.
+	total, err := db.Query(`sum(/library/book/price)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, _ := total.SerializeXML()
+	fmt.Println("\nsum of all prices:", sum)
+}

@@ -1,0 +1,3 @@
+module xquec
+
+go 1.22

@@ -1,0 +1,165 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xquec/internal/storage"
+)
+
+// randomTree builds a random document and loads it.
+func randomTree(t *testing.T, rng *rand.Rand) *storage.Store {
+	t.Helper()
+	var sb strings.Builder
+	tags := []string{"a", "b", "c"}
+	var gen func(depth int)
+	gen = func(depth int) {
+		tag := tags[rng.Intn(len(tags))]
+		fmt.Fprintf(&sb, "<%s>", tag)
+		if depth < 4 {
+			for i := 0; i < rng.Intn(4); i++ {
+				gen(depth + 1)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, "v%d", rng.Intn(10))
+		}
+		fmt.Fprintf(&sb, "</%s>", tag)
+	}
+	sb.WriteString("<root>")
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		gen(0)
+	}
+	sb.WriteString("</root>")
+	s, err := storage.Load([]byte(sb.String()), storage.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// naiveDescendants computes Descendants by brute force.
+func naiveDescendants(s *storage.Store, in NodeSet, extent NodeSet) NodeSet {
+	var out []storage.NodeID
+	seen := map[storage.NodeID]bool{}
+	for _, a := range in {
+		for _, d := range extent {
+			if s.IsAncestor(a, d) && !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return SortUnique(out)
+}
+
+func allElements(s *storage.Store, tag string) NodeSet {
+	var out []storage.NodeID
+	for id := storage.NodeID(1); int(id) <= s.NumNodes(); id++ {
+		if s.TagOf(id) == tag {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestDescendantsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		s := randomTree(t, rng)
+		as := allElements(s, "a")
+		bs := allElements(s, "b")
+		got := Descendants(s, as, bs)
+		want := naiveDescendants(s, as, bs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSemiJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		s := randomTree(t, rng)
+		as := allElements(s, "a")
+		cs := allElements(s, "c")
+		got := SemiJoinAncestor(s, as, cs)
+		var want NodeSet
+		for _, a := range as {
+			for _, c := range cs {
+				if s.IsAncestor(a, c) {
+					want = append(want, a)
+					break
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestMapToAncestorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		s := randomTree(t, rng)
+		// roots of the random forest under <root> never nest
+		roots := Child(s, NodeSet{1}, "")
+		cs := allElements(s, "c")
+		got := MapToAncestorIn(s, roots, cs)
+		var want []Pair
+		for _, c := range cs {
+			for _, r := range roots {
+				if s.IsAncestor(r, c) {
+					want = append(want, Pair{A: r, B: c})
+					break
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %v vs %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestParentChildInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		s := randomTree(t, rng)
+		for _, tag := range []string{"a", "b", "c"} {
+			nodes := allElements(s, tag)
+			kids := Child(s, nodes, "")
+			// every kid's parent is in nodes
+			parents := Parent(s, kids)
+			for _, p := range parents {
+				found := false
+				for _, n := range nodes {
+					if n == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("parent %d not in input set", p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package baselines_test exercises the three comparator compressors
+// together: round trips, compression-factor sanity, and the §2.3
+// whole-stream-scan behaviour that Figure 4 contrasts with XQueC's
+// container access.
+package baselines_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xquec/internal/baselines/xgrind"
+	"xquec/internal/baselines/xmill"
+	"xquec/internal/baselines/xpress"
+	"xquec/internal/datagen"
+	"xquec/internal/storage"
+	"xquec/internal/xmlparser"
+)
+
+func xmarkDoc(t *testing.T, scale float64) []byte {
+	t.Helper()
+	return datagen.XMark(datagen.XMarkConfig{Scale: scale, Seed: 31})
+}
+
+func canonical(t *testing.T, src []byte) string {
+	t.Helper()
+	d, err := xmlparser.BuildDOM(src)
+	if err != nil {
+		t.Fatalf("not well-formed: %v", err)
+	}
+	return string(d.Root.Serialize(nil))
+}
+
+func TestXMillRoundTrip(t *testing.T) {
+	doc := xmarkDoc(t, 0.1)
+	a, err := xmill.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, out) != canonical(t, doc) {
+		t.Fatal("XMill round trip changed the document")
+	}
+}
+
+func TestXMillCompressesWell(t *testing.T) {
+	doc := xmarkDoc(t, 0.3)
+	a, err := xmill.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := a.CompressionFactor()
+	if cf < 0.5 {
+		t.Fatalf("XMill CF = %.3f, expected the best factor (>= 0.5)", cf)
+	}
+	if rep := a.ContainerReport(); len(rep) == 0 {
+		t.Fatal("no container report")
+	}
+}
+
+func TestXGrindRoundTrip(t *testing.T) {
+	doc := xmarkDoc(t, 0.1)
+	d, err := xgrind.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical(t, out) != canonical(t, doc) {
+		t.Fatal("XGrind round trip changed the document")
+	}
+}
+
+func TestXGrindExactMatchScansEverything(t *testing.T) {
+	doc := xmarkDoc(t, 0.1)
+	d, err := xgrind.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, visited, err := d.ExactMatch("/site/people/person/@id", "person0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("person0 hits = %d", len(hits))
+	}
+	// The defining XGrind weakness: even a point query visits the whole
+	// stream.
+	if visited != len(d.Stream) {
+		t.Fatalf("visited %d of %d stream bytes; XGrind has no selective access", visited, len(d.Stream))
+	}
+	// Prefix matching on compressed values.
+	phits, _, err := d.ExactMatch("//person/name/#text", "A", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range phits {
+		if !strings.HasPrefix(h.Value, "A") {
+			t.Fatalf("prefix hit %q", h.Value)
+		}
+	}
+}
+
+func TestXPressScanCountMatchesDOM(t *testing.T) {
+	doc := xmarkDoc(t, 0.1)
+	d, err := xpress.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, _ := xmlparser.BuildDOM(doc)
+	for _, pattern := range []string{"/site/people/person", "//item", "//bidder", "/site/regions/europe/item"} {
+		got, visited, err := d.ScanCount(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := domCount(dom, pattern)
+		if got != want {
+			t.Fatalf("%s: ScanCount = %d, DOM = %d", pattern, got, want)
+		}
+		if visited != len(d.Stream) {
+			t.Fatal("XPRESS must visit the whole stream")
+		}
+	}
+}
+
+// domCount counts elements matching a //-style pattern in the DOM.
+func domCount(doc *xmlparser.Document, pattern string) int {
+	steps := strings.Split(strings.Trim(pattern, "/"), "/")
+	descendant := strings.HasPrefix(pattern, "//")
+	count := 0
+	var path []string
+	var walk func(n *xmlparser.Node)
+	match := func() bool {
+		if descendant {
+			// suffix match
+			if len(path) < len(steps)-0 {
+			}
+			s := steps
+			if len(s) > 0 && s[0] == "" {
+				s = s[1:]
+			}
+			if len(path) < len(s) {
+				return false
+			}
+			tail := path[len(path)-len(s):]
+			for i := range s {
+				if s[i] != "*" && s[i] != tail[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if len(path) != len(steps) {
+			return false
+		}
+		for i := range steps {
+			if steps[i] != "*" && steps[i] != path[i] {
+				return false
+			}
+		}
+		return true
+	}
+	walk = func(n *xmlparser.Node) {
+		if n.Kind != xmlparser.NodeElement {
+			return
+		}
+		path = append(path, n.Name)
+		if match() {
+			count++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+		path = path[:len(path)-1]
+	}
+	walk(doc.Root)
+	return count
+}
+
+func TestCompressionFactorOrdering(t *testing.T) {
+	// The Figure-6 shape: XMill (opaque, gzip-like) best; XQueC and
+	// XPRESS close; XGrind behind them.
+	doc := xmarkDoc(t, 0.5)
+	ar, err := xmill.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xg, err := xgrind.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, err := xpress.Compress(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := storage.Load(doc, storage.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfMill, cfGrind, cfPress, cfQuec := ar.CompressionFactor(), xg.CompressionFactor(), xp.CompressionFactor(), st.CompressionFactor()
+	t.Logf("CF: xmill=%.3f xgrind=%.3f xpress=%.3f xquec=%.3f", cfMill, cfGrind, cfPress, cfQuec)
+	if !(cfMill > cfQuec) {
+		t.Fatalf("XMill (%.3f) should beat XQueC (%.3f)", cfMill, cfQuec)
+	}
+	if !(cfQuec > cfGrind) {
+		t.Fatalf("XQueC (%.3f) should beat XGrind (%.3f)", cfQuec, cfGrind)
+	}
+	for _, cf := range []float64{cfMill, cfGrind, cfPress, cfQuec} {
+		if cf <= 0 || cf >= 1 {
+			t.Fatalf("implausible CF %v", cf)
+		}
+	}
+}
+
+func TestBaselinesOnRealLifeProfiles(t *testing.T) {
+	docs := [][]byte{
+		datagen.Shakespeare(150_000, 1),
+		datagen.WashingtonCourse(150_000, 2),
+		datagen.Baseball(150_000, 3),
+	}
+	for i, doc := range docs {
+		a, err := xmill.Compress(doc)
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		out, err := a.Decompress()
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if !bytes.Equal([]byte(canonical(t, out)), []byte(canonical(t, doc))) {
+			t.Fatalf("doc %d: xmill round trip", i)
+		}
+		g, err := xgrind.Compress(doc)
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if g.CompressionFactor() <= 0 {
+			t.Fatalf("doc %d: xgrind CF = %v", i, g.CompressionFactor())
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package galaxlike
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xquec/internal/xquery"
+)
+
+// evalCall mirrors the XQueC engine's function library with naive
+// evaluation.
+func (e *Engine) evalCall(x *xquery.Call, env *scope) (Seq, error) {
+	arg := func(i int) (Seq, error) {
+		if i >= len(x.Args) {
+			return nil, fmt.Errorf("galaxlike: %s() needs %d arguments", x.Name, i+1)
+		}
+		return e.eval(x.Args[i], env)
+	}
+	argStr := func(i int) (string, error) {
+		v, err := arg(i)
+		if err != nil {
+			return "", err
+		}
+		atoms, err := e.atomize(v)
+		if err != nil {
+			return "", err
+		}
+		if len(atoms) == 0 {
+			return "", nil
+		}
+		return atoms[0], nil
+	}
+	switch x.Name {
+	case "count":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{float64(len(v))}, nil
+	case "sum", "avg", "min", "max":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		atoms, err := e.atomize(v)
+		if err != nil {
+			return nil, err
+		}
+		if len(atoms) == 0 {
+			if x.Name == "sum" {
+				return Seq{0.0}, nil
+			}
+			return nil, nil
+		}
+		var agg float64
+		for i, a := range atoms {
+			f, ok := parseNumStr(a)
+			if !ok {
+				return nil, fmt.Errorf("galaxlike: %s over %q", x.Name, a)
+			}
+			switch {
+			case i == 0:
+				agg = f
+			case x.Name == "min" && f < agg:
+				agg = f
+			case x.Name == "max" && f > agg:
+				agg = f
+			case x.Name == "sum" || x.Name == "avg":
+				agg += f
+			}
+		}
+		if x.Name == "avg" {
+			agg /= float64(len(atoms))
+		}
+		return Seq{agg}, nil
+	case "contains", "starts-with", "ends-with":
+		a, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := argStr(1)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Name {
+		case "contains":
+			return Seq{strings.Contains(a, b)}, nil
+		case "starts-with":
+			return Seq{strings.HasPrefix(a, b)}, nil
+		default:
+			return Seq{strings.HasSuffix(a, b)}, nil
+		}
+	case "not":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{!effectiveBool(v)}, nil
+	case "empty":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{len(v) == 0}, nil
+	case "exists":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{len(v) > 0}, nil
+	case "string":
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{s}, nil
+	case "number":
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		f, ok := parseNumStr(s)
+		if !ok {
+			return nil, fmt.Errorf("galaxlike: number(%q)", s)
+		}
+		return Seq{f}, nil
+	case "string-length":
+		s, err := argStr(0)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{float64(len(s))}, nil
+	case "concat":
+		var sb strings.Builder
+		for i := range x.Args {
+			s, err := argStr(i)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(s)
+		}
+		return Seq{sb.String()}, nil
+	case "string-join":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		atoms, err := e.atomize(v)
+		if err != nil {
+			return nil, err
+		}
+		sep, err := argStr(1)
+		if err != nil {
+			return nil, err
+		}
+		return Seq{strings.Join(atoms, sep)}, nil
+	case "distinct-values":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		atoms, err := e.atomize(v)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		var out Seq
+		for _, a := range atoms {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	case "if":
+		v, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		if effectiveBool(v) {
+			return arg(1)
+		}
+		return arg(2)
+	case "zero-or-one", "exactly-one", "data":
+		return arg(0)
+	case "last":
+		return nil, fmt.Errorf("galaxlike: last() only inside predicates")
+	}
+	return nil, fmt.Errorf("galaxlike: unknown function %s()", x.Name)
+}
+
+func parseNumStr(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return f, err == nil
+}

@@ -1,0 +1,103 @@
+package galaxlike
+
+import (
+	"strings"
+	"testing"
+)
+
+const doc = `<site>
+  <people>
+    <person id="p0"><name>Alice</name><age>30</age></person>
+    <person id="p1"><name>Bob</name><age>25</age></person>
+  </people>
+  <auctions>
+    <auction><buyer person="p1"/><price>10.50</price></auction>
+    <auction><buyer person="p0"/><price>55.00</price></auction>
+  </auctions>
+</site>`
+
+func run(t *testing.T, q string) string {
+	t.Helper()
+	e := New([]byte(doc))
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", q, err)
+	}
+	out, err := res.SerializeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPathsAndPredicates(t *testing.T) {
+	if got := run(t, `/site/people/person/name/text()`); got != "Alice\nBob" {
+		t.Fatalf("names = %q", got)
+	}
+	if got := run(t, `count(/site//person)`); got != "2" {
+		t.Fatalf("count = %q", got)
+	}
+	if got := run(t, `FOR $p IN /site/people/person[@id = "p1"] RETURN $p/name/text()`); got != "Bob" {
+		t.Fatalf("pred = %q", got)
+	}
+	if got := run(t, `/site/people/person[2]/name/text()`); got != "Bob" {
+		t.Fatalf("positional = %q", got)
+	}
+	if got := run(t, `/site/people/person[last()]/age/text()`); got != "25" {
+		t.Fatalf("last() = %q", got)
+	}
+}
+
+func TestFLWORAndFunctions(t *testing.T) {
+	got := run(t, `FOR $p IN /site/people/person WHERE $p/age >= 28 RETURN $p/name/text()`)
+	if got != "Alice" {
+		t.Fatalf("where = %q", got)
+	}
+	if got := run(t, `sum(/site/auctions/auction/price)`); got != "65.5" {
+		t.Fatalf("sum = %q", got)
+	}
+	got = run(t, `FOR $p IN /site/people/person
+	              LET $a := FOR $t IN /site/auctions/auction
+	                        WHERE $t/buyer/@person = $p/@id RETURN $t
+	              RETURN <n k="{$p/name/text()}">{count($a)}</n>`)
+	if got != "<n k=\"Alice\">1</n>\n<n k=\"Bob\">1</n>" {
+		t.Fatalf("join = %q", got)
+	}
+	if got := run(t, `FOR $p IN /site/people/person ORDER BY $p/age RETURN $p/name/text()`); got != "Bob\nAlice" {
+		t.Fatalf("order by = %q", got)
+	}
+}
+
+func TestConstructorSerialization(t *testing.T) {
+	got := run(t, `FOR $p IN /site/people/person[1] RETURN $p`)
+	if !strings.Contains(got, `<person id="p0">`) || !strings.Contains(got, "<name>Alice</name>") {
+		t.Fatalf("subtree = %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := New([]byte(doc))
+	for _, q := range []string{`$nope`, `badfn(1)`, `for $x in`} {
+		if _, err := e.Query(q); err == nil {
+			t.Fatalf("no error for %q", q)
+		}
+	}
+	bad := New([]byte("<a></b>"))
+	if _, err := bad.Query(`/a`); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+}
+
+func TestParsePerQuery(t *testing.T) {
+	e := New([]byte(doc))
+	if !e.ParsePerQuery {
+		t.Fatal("baseline must parse per query by default (that is its cost profile)")
+	}
+	e.ParsePerQuery = false
+	if _, err := e.Query(`count(/site)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(`count(/site)`); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package xgrind
+
+import (
+	"testing"
+
+	"xquec/internal/xmlparser"
+)
+
+const doc = `<shop>
+  <item code="A1"><name>gold ring</name><price>10</price></item>
+  <item code="B2"><name>gold coin</name><price>25</price></item>
+  <item code="C3"><name>silver fork</name><price>5</price></item>
+</shop>`
+
+func compressDoc(t *testing.T) *Document {
+	t.Helper()
+	d, err := Compress([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestHomomorphicRoundTrip(t *testing.T) {
+	d := compressDoc(t)
+	out, err := d.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := xmlparser.BuildDOM(out)
+	if err != nil {
+		t.Fatalf("not well-formed: %v", err)
+	}
+	d2, _ := xmlparser.BuildDOM([]byte(doc))
+	if string(d1.Root.Serialize(nil)) != string(d2.Root.Serialize(nil)) {
+		t.Fatalf("round trip:\n%s", out)
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	d := compressDoc(t)
+	hits, _, err := d.ExactMatch("/shop/item/name/#text", "gold ring", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Value != "gold ring" {
+		t.Fatalf("hits = %v", hits)
+	}
+	// Wildcard and descendant path patterns.
+	hits, _, err = d.ExactMatch("//name/#text", "gold coin", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("descendant hits = %v", hits)
+	}
+	hits, _, err = d.ExactMatch("/shop/*/name/#text", "silver fork", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("wildcard hits = %v", hits)
+	}
+	// Attribute values.
+	hits, _, err = d.ExactMatch("/shop/item/@code", "B2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("attr hits = %v", hits)
+	}
+}
+
+func TestPrefixMatch(t *testing.T) {
+	d := compressDoc(t)
+	hits, _, err := d.ExactMatch("/shop/item/name/#text", "gold", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("prefix hits = %v", hits)
+	}
+	hits, _, err = d.ExactMatch("/shop/item/name/#text", "plat", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("ghost prefix hits = %v", hits)
+	}
+}
+
+func TestNoMatchWrongPath(t *testing.T) {
+	d := compressDoc(t)
+	hits, _, err := d.ExactMatch("/shop/item/price/#text", "gold ring", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("value matched on wrong path: %v", hits)
+	}
+}
+
+func TestPathMatcher(t *testing.T) {
+	cases := []struct {
+		path, pattern string
+		want          bool
+	}{
+		{"a/b/c", "/a/b/c", true},
+		{"a/b/c", "/a/c", false},
+		{"a/b/c", "//c", true},
+		{"a/b/c", "//b/c", true},
+		{"a/b/c", "/a/*/c", true},
+		{"a/b/c", "//a", false},
+	}
+	for _, c := range cases {
+		steps := parsePattern(c.pattern)
+		if got := pathMatches(c.path, steps); got != c.want {
+			t.Fatalf("pathMatches(%q, %q) = %v", c.path, c.pattern, got)
+		}
+	}
+}
+
+func TestCompressionPositive(t *testing.T) {
+	d := compressDoc(t)
+	if d.CompressedSize() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}

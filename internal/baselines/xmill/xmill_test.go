@@ -1,0 +1,113 @@
+package xmill
+
+import (
+	"strings"
+	"testing"
+
+	"xquec/internal/xmlparser"
+)
+
+const doc = `<lib>
+  <book id="b1"><title>Alpha &amp; Omega</title><year>1999</year></book>
+  <book id="b2"><title>Beta</title><year>2001</year></book>
+  <empty/>
+  <mixed>pre<b>bold</b>post</mixed>
+</lib>`
+
+func TestRoundTripSmall(t *testing.T) {
+	a, err := Compress([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := xmlparser.BuildDOM(out)
+	if err != nil {
+		t.Fatalf("output not well-formed: %v\n%s", err, out)
+	}
+	d2, _ := xmlparser.BuildDOM([]byte(doc))
+	if string(d1.Root.Serialize(nil)) != string(d2.Root.Serialize(nil)) {
+		t.Fatalf("round trip mismatch:\n%s", out)
+	}
+}
+
+func TestContainersPerPath(t *testing.T) {
+	a, err := Compress([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	for _, p := range a.Paths {
+		paths[p] = true
+	}
+	for _, want := range []string{
+		"lib/book/@id", "lib/book/title/#text", "lib/book/year/#text",
+		"lib/mixed/#text", "lib/mixed/b/#text",
+	} {
+		if !paths[want] {
+			t.Fatalf("missing container %q in %v", want, a.Paths)
+		}
+	}
+}
+
+func TestEmptyishDocuments(t *testing.T) {
+	for _, src := range []string{`<a/>`, `<a x="1"/>`, `<a><b/><c/></a>`} {
+		a, err := Compress([]byte(src))
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		out, err := a.Decompress()
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		d1, err := xmlparser.BuildDOM(out)
+		if err != nil {
+			t.Fatalf("%s -> %s: %v", src, out, err)
+		}
+		d2, _ := xmlparser.BuildDOM([]byte(src))
+		if string(d1.Root.Serialize(nil)) != string(d2.Root.Serialize(nil)) {
+			t.Fatalf("%s round trip -> %s", src, out)
+		}
+	}
+}
+
+func TestCompressedSizeAccounting(t *testing.T) {
+	a, err := Compress([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CompressedSize() <= 0 {
+		t.Fatal("size must be positive")
+	}
+	if cf := a.CompressionFactor(); cf >= 1 {
+		t.Fatalf("cf = %v", cf)
+	}
+	// Tiny documents may not compress; large repetitive ones must.
+	big := []byte("<r>" + strings.Repeat("<i><n>gold ring</n><p>10</p></i>", 2000) + "</r>")
+	a2, err := Compress(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.CompressionFactor() < 0.7 {
+		t.Fatalf("repetitive doc CF = %v", a2.CompressionFactor())
+	}
+}
+
+func TestRejectsMalformed(t *testing.T) {
+	if _, err := Compress([]byte(`<a><b></a>`)); err == nil {
+		t.Fatal("malformed accepted")
+	}
+}
+
+func TestDecompressRejectsCorruptStructure(t *testing.T) {
+	a, err := Compress([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Structure = a.Structure[:len(a.Structure)/2]
+	if _, err := a.Decompress(); err == nil {
+		t.Fatal("truncated structure accepted")
+	}
+}

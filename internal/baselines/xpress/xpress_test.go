@@ -1,0 +1,168 @@
+package xpress
+
+import (
+	"testing"
+)
+
+const doc = `<shop>
+  <section name="jewels">
+    <item><name>gold ring</name><price>10.5</price><qty>3</qty></item>
+    <item><name>gold coin</name><price>25</price><qty>1</qty></item>
+  </section>
+  <section name="cutlery">
+    <item><name>silver fork</name><price>5</price><qty>12</qty></item>
+  </section>
+</shop>`
+
+func compressDoc(t *testing.T) *Document {
+	t.Helper()
+	d, err := Compress([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBaseIntervalsPartition(t *testing.T) {
+	d := compressDoc(t)
+	if len(d.NameIv) != len(d.Names) {
+		t.Fatal("interval per label")
+	}
+	prev := 0.0
+	for i, iv := range d.NameIv {
+		if iv.Lo != prev {
+			t.Fatalf("interval %d not contiguous: lo=%v prev=%v", i, iv.Lo, prev)
+		}
+		if iv.Hi <= iv.Lo {
+			t.Fatalf("interval %d empty", i)
+		}
+		prev = iv.Hi
+	}
+	if prev != 1.0 {
+		t.Fatalf("intervals end at %v, want 1", prev)
+	}
+}
+
+func TestScanCounts(t *testing.T) {
+	d := compressDoc(t)
+	cases := []struct {
+		pattern string
+		want    int
+	}{
+		{"//item", 3},
+		{"//section", 2},
+		{"/shop", 1},
+		{"/shop/section/item", 3},
+		{"//section/item/name", 3},
+		{"//price", 3},
+	}
+	for _, c := range cases {
+		got, visited, err := d.ScanCount(c.pattern)
+		if err != nil {
+			t.Fatalf("%s: %v", c.pattern, err)
+		}
+		if got != c.want {
+			t.Fatalf("ScanCount(%s) = %d, want %d", c.pattern, got, c.want)
+		}
+		if visited != len(d.Stream) {
+			t.Fatal("must scan the full stream")
+		}
+	}
+}
+
+func TestQueryIntervalNesting(t *testing.T) {
+	d := compressDoc(t)
+	itemIv, err := d.QueryInterval("//item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepIv, err := d.QueryInterval("/shop/section/item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The longer path's interval must nest inside the label interval.
+	if !(deepIv.Lo >= itemIv.Lo && deepIv.Hi <= itemIv.Hi) {
+		t.Fatalf("nesting violated: %v not within %v", deepIv, itemIv)
+	}
+	if _, err := d.QueryInterval("//nonexistent"); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestDyadicCode(t *testing.T) {
+	cases := []Interval{
+		{0, 1}, {0.25, 0.5}, {0.1, 0.100001}, {0.999, 1},
+	}
+	for _, iv := range cases {
+		k, m := dyadicCode(iv)
+		scale := float64(uint64(1) << uint(k))
+		lo := float64(m) / scale
+		hi := (float64(m) + 1) / scale
+		if lo < iv.Lo || hi > iv.Hi {
+			t.Fatalf("dyadic [%v,%v) not within %v", lo, hi, iv)
+		}
+	}
+}
+
+func TestValueTypeInference(t *testing.T) {
+	d := compressDoc(t)
+	// The stream must contain int-typed (qty, whole prices), float-typed
+	// ("10.5") and string-typed (names) values.
+	var sawInt, sawString, sawFloat bool
+	pos := 0
+	skipUvarint := func() {
+		for d.Stream[pos]&0x80 != 0 {
+			pos++
+		}
+		pos++
+	}
+	for pos < len(d.Stream) {
+		op := d.Stream[pos]
+		pos++
+		switch op {
+		case opStart:
+			skipUvarint()
+		case opEnd:
+		case opText, opAttr:
+			if op == opAttr {
+				skipUvarint()
+			}
+			tb := d.Stream[pos]
+			pos++
+			switch tb {
+			case valInt:
+				sawInt = true
+				skipUvarint() // varint payload has the same stop bit
+			case valFloat:
+				sawFloat = true
+				pos += 8
+			case valString:
+				sawString = true
+				n := 0
+				shift := 0
+				for d.Stream[pos]&0x80 != 0 {
+					n |= int(d.Stream[pos]&0x7f) << shift
+					shift += 7
+					pos++
+				}
+				n |= int(d.Stream[pos]) << shift
+				pos++
+				pos += n
+			default:
+				t.Fatalf("bad value tag %#x at %d", tb, pos-1)
+			}
+		default:
+			t.Fatalf("bad opcode %#x at %d", op, pos-1)
+		}
+	}
+	if !sawInt || !sawString || !sawFloat {
+		t.Fatalf("value types: int=%v string=%v float=%v", sawInt, sawString, sawFloat)
+	}
+}
+
+func TestCompressionFactorPositive(t *testing.T) {
+	d := compressDoc(t)
+	if d.CompressedSize() <= 0 {
+		t.Fatal("size")
+	}
+}

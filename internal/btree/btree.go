@@ -1,0 +1,261 @@
+// Package btree implements the in-memory B+ tree the repository uses as
+// its access support structure over node records (§2.2: "we construct
+// and store a B+ search tree on top of the sequence of node records").
+// Keys are uint64 (element IDs), values int64 (record offsets). Leaves
+// are chained for ordered range scans.
+package btree
+
+import "sort"
+
+const (
+	// order is the maximum number of keys per node.
+	order = 64
+)
+
+type leaf struct {
+	keys []uint64
+	vals []int64
+	next *leaf
+}
+
+type internal struct {
+	keys     []uint64 // keys[i] = smallest key in children[i+1]
+	children []node
+}
+
+type node interface{ isNode() }
+
+func (*leaf) isNode()     {}
+func (*internal) isNode() {}
+
+// Tree is a B+ tree. The zero value is an empty tree ready to use.
+// Not safe for concurrent mutation.
+type Tree struct {
+	root node
+	size int
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key uint64) (int64, bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for {
+		switch x := n.(type) {
+		case *internal:
+			n = x.children[childIndex(x.keys, key)]
+		case *leaf:
+			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+			if i < len(x.keys) && x.keys[i] == key {
+				return x.vals[i], true
+			}
+			return 0, false
+		}
+	}
+}
+
+// childIndex returns which child of an internal node covers key.
+func childIndex(keys []uint64, key uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+// Insert stores value under key, replacing any previous value.
+func (t *Tree) Insert(key uint64, value int64) {
+	if t.root == nil {
+		t.root = &leaf{keys: []uint64{key}, vals: []int64{value}}
+		t.size = 1
+		return
+	}
+	newChild, splitKey, replaced := t.insert(t.root, key, value)
+	if !replaced {
+		t.size++
+	}
+	if newChild != nil {
+		t.root = &internal{keys: []uint64{splitKey}, children: []node{t.root, newChild}}
+	}
+}
+
+// insert descends into n; if n splits, it returns the new right sibling
+// and its smallest key.
+func (t *Tree) insert(n node, key uint64, value int64) (node, uint64, bool) {
+	switch x := n.(type) {
+	case *leaf:
+		i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+		if i < len(x.keys) && x.keys[i] == key {
+			x.vals[i] = value
+			return nil, 0, true
+		}
+		x.keys = append(x.keys, 0)
+		copy(x.keys[i+1:], x.keys[i:])
+		x.keys[i] = key
+		x.vals = append(x.vals, 0)
+		copy(x.vals[i+1:], x.vals[i:])
+		x.vals[i] = value
+		if len(x.keys) <= order {
+			return nil, 0, false
+		}
+		mid := len(x.keys) / 2
+		right := &leaf{
+			keys: append([]uint64(nil), x.keys[mid:]...),
+			vals: append([]int64(nil), x.vals[mid:]...),
+			next: x.next,
+		}
+		x.keys = x.keys[:mid]
+		x.vals = x.vals[:mid]
+		x.next = right
+		return right, right.keys[0], false
+	case *internal:
+		ci := childIndex(x.keys, key)
+		newChild, splitKey, replaced := t.insert(x.children[ci], key, value)
+		if newChild == nil {
+			return nil, 0, replaced
+		}
+		x.keys = append(x.keys, 0)
+		copy(x.keys[ci+1:], x.keys[ci:])
+		x.keys[ci] = splitKey
+		x.children = append(x.children, nil)
+		copy(x.children[ci+2:], x.children[ci+1:])
+		x.children[ci+1] = newChild
+		if len(x.keys) <= order {
+			return nil, 0, replaced
+		}
+		mid := len(x.keys) / 2
+		up := x.keys[mid]
+		right := &internal{
+			keys:     append([]uint64(nil), x.keys[mid+1:]...),
+			children: append([]node(nil), x.children[mid+1:]...),
+		}
+		x.keys = x.keys[:mid]
+		x.children = x.children[:mid+1]
+		return right, up, replaced
+	}
+	panic("btree: unknown node type")
+}
+
+// Range calls fn for every key in [lo, hi] in ascending order; fn
+// returning false stops the scan.
+func (t *Tree) Range(lo, hi uint64, fn func(key uint64, value int64) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	for {
+		x, ok := n.(*internal)
+		if !ok {
+			break
+		}
+		n = x.children[childIndex(x.keys, lo)]
+	}
+	for lf := n.(*leaf); lf != nil; lf = lf.next {
+		for i, k := range lf.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, lf.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// BulkLoad builds a tree from already-sorted unique keys in O(n). It is
+// how the loader builds the node-record index (IDs are assigned in
+// pre-order, so they arrive sorted).
+func BulkLoad(keys []uint64, vals []int64) *Tree {
+	if len(keys) != len(vals) {
+		panic("btree: BulkLoad length mismatch")
+	}
+	t := &Tree{size: len(keys)}
+	if len(keys) == 0 {
+		return t
+	}
+	// Build the leaf level.
+	var leaves []node
+	var firsts []uint64
+	var prevLeaf *leaf
+	for i := 0; i < len(keys); i += order {
+		end := i + order
+		if end > len(keys) {
+			end = len(keys)
+		}
+		lf := &leaf{
+			keys: append([]uint64(nil), keys[i:end]...),
+			vals: append([]int64(nil), vals[i:end]...),
+		}
+		if prevLeaf != nil {
+			prevLeaf.next = lf
+		}
+		prevLeaf = lf
+		leaves = append(leaves, lf)
+		firsts = append(firsts, lf.keys[0])
+	}
+	// Build internal levels bottom-up.
+	level, levelFirsts := leaves, firsts
+	for len(level) > 1 {
+		var up []node
+		var upFirsts []uint64
+		fan := order + 1
+		for i := 0; i < len(level); i += fan {
+			end := i + fan
+			if end > len(level) {
+				end = len(level)
+			}
+			in := &internal{
+				children: append([]node(nil), level[i:end]...),
+				keys:     append([]uint64(nil), levelFirsts[i+1:end]...),
+			}
+			up = append(up, in)
+			upFirsts = append(upFirsts, levelFirsts[i])
+		}
+		level, levelFirsts = up, upFirsts
+	}
+	t.root = level[0]
+	return t
+}
+
+// Depth returns the height of the tree (1 for a single leaf); used in
+// storage-footprint accounting.
+func (t *Tree) Depth() int {
+	d := 0
+	n := t.root
+	for n != nil {
+		d++
+		x, ok := n.(*internal)
+		if !ok {
+			break
+		}
+		n = x.children[0]
+	}
+	return d
+}
+
+// FootprintBytes estimates the in-memory footprint of the tree, used by
+// the storage-ablation experiment (§2.2's factor 3-4 claim counts the
+// access structures).
+func (t *Tree) FootprintBytes() int {
+	var walk func(n node) int
+	walk = func(n node) int {
+		switch x := n.(type) {
+		case *leaf:
+			return 16*len(x.keys) + 24
+		case *internal:
+			s := 8*len(x.keys) + 16*len(x.children) + 24
+			for _, c := range x.children {
+				s += walk(c)
+			}
+			return s
+		}
+		return 0
+	}
+	if t.root == nil {
+		return 0
+	}
+	return walk(t.root)
+}

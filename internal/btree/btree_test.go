@@ -1,0 +1,255 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero Len")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	tr.Range(0, 100, func(uint64, int64) bool { t.Fatal("Range on empty tree visited"); return true })
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	var tr Tree
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i*3, int64(i))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 10; i++ {
+		v, ok := tr.Get(i * 3)
+		if !ok || v != int64(i) {
+			t.Fatalf("Get(%d) = %d, %v", i*3, v, ok)
+		}
+		if _, ok := tr.Get(i*3 + 1); ok {
+			t.Fatalf("Get(%d) unexpectedly present", i*3+1)
+		}
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	var tr Tree
+	tr.Insert(7, 1)
+	tr.Insert(7, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	if v, _ := tr.Get(7); v != 2 {
+		t.Fatalf("Get(7) = %d, want 2", v)
+	}
+}
+
+func TestLargeRandomInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := map[uint64]int64{}
+	var tr Tree
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(200000))
+		v := int64(i)
+		ref[k] = v
+		tr.Insert(k, v)
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v; want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	var tr Tree
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i*2, int64(i)) // even keys
+	}
+	var got []uint64
+	tr.Range(100, 120, func(k uint64, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 1<<62, func(uint64, int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestRangeIsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var tr Tree
+	for i := 0; i < 20000; i++ {
+		tr.Insert(uint64(rng.Intn(1000000)), int64(i))
+	}
+	prev := int64(-1)
+	tr.Range(0, 1<<62, func(k uint64, _ int64) bool {
+		if int64(k) <= prev {
+			t.Fatalf("range not sorted: %d after %d", k, prev)
+		}
+		prev = int64(k)
+		return true
+	})
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	n := 10000
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 7)
+		vals[i] = int64(i)
+	}
+	bl := BulkLoad(keys, vals)
+	if bl.Len() != n {
+		t.Fatalf("Len = %d", bl.Len())
+	}
+	for i := range keys {
+		v, ok := bl.Get(keys[i])
+		if !ok || v != vals[i] {
+			t.Fatalf("Get(%d) = %d,%v", keys[i], v, ok)
+		}
+	}
+	if _, ok := bl.Get(3); ok {
+		t.Fatal("absent key found")
+	}
+	// Range over everything must be complete and ordered.
+	i := 0
+	bl.Range(0, 1<<62, func(k uint64, v int64) bool {
+		if k != keys[i] || v != vals[i] {
+			t.Fatalf("range item %d = (%d,%d)", i, k, v)
+		}
+		i++
+		return true
+	})
+	if i != n {
+		t.Fatalf("range visited %d of %d", i, n)
+	}
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	if tr := BulkLoad(nil, nil); tr.Len() != 0 {
+		t.Fatal("empty bulk load")
+	}
+	tr := BulkLoad([]uint64{42}, []int64{-1})
+	if v, ok := tr.Get(42); !ok || v != -1 {
+		t.Fatal("single-key bulk load broken")
+	}
+}
+
+func TestBulkLoadMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	BulkLoad([]uint64{1}, nil)
+}
+
+func TestDepthGrows(t *testing.T) {
+	var tr Tree
+	tr.Insert(1, 1)
+	if tr.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", tr.Depth())
+	}
+	for i := uint64(0); i < 10000; i++ {
+		tr.Insert(i, int64(i))
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("Depth = %d after 10k inserts", tr.Depth())
+	}
+	if tr.FootprintBytes() <= 0 {
+		t.Fatal("FootprintBytes must be positive")
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(keys []uint64) bool {
+		var tr Tree
+		ref := map[uint64]int64{}
+		for i, k := range keys {
+			tr.Insert(k, int64(i))
+			ref[k] = int64(i)
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		// Range equals sorted key set.
+		sorted := make([]uint64, 0, len(ref))
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		i := 0
+		okAll := true
+		tr.Range(0, ^uint64(0)>>1, func(k uint64, _ int64) bool {
+			if k > ^uint64(0)>>1 {
+				return true
+			}
+			if i >= len(sorted) || sorted[i] != k {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		// keys above the range cap are allowed to be missed by this scan
+		for ; i < len(sorted); i++ {
+			if sorted[i] <= ^uint64(0)>>1 {
+				return false
+			}
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i*2654435761)%1000000, int64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr Tree
+	for i := uint64(0); i < 100000; i++ {
+		tr.Insert(i, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) % 100000)
+	}
+}

@@ -1,0 +1,349 @@
+package alm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xquec/internal/compress"
+)
+
+var proseSample = [][]byte{
+	[]byte("there is a tide in the affairs of men"),
+	[]byte("their hearts and their minds"),
+	[]byte("these are the times that try souls"),
+	[]byte("the evil that men do lives after them"),
+	[]byte("there there there"),
+}
+
+func train(t *testing.T, values [][]byte) *Codec {
+	t.Helper()
+	c, err := Train(values, DefaultMaxTokens)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := train(t, proseSample)
+	for _, v := range append(proseSample,
+		[]byte(""), []byte("x"), []byte("completely unseen Words 42!"),
+		[]byte{0x00, 0xff, 0x80}) {
+		enc, err := c.Encode(nil, v)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", v, err)
+		}
+		dec, err := c.Decode(nil, enc)
+		if err != nil || !bytes.Equal(dec, v) {
+			t.Fatalf("round trip %q -> %q (%v)", v, dec, err)
+		}
+	}
+}
+
+func TestFigure2Scenario(t *testing.T) {
+	// The paper's running example: their/there/these must encode in
+	// strictly increasing order and round-trip.
+	corpus := [][]byte{[]byte("their"), []byte("there"), []byte("these")}
+	c := train(t, corpus)
+	var encs [][]byte
+	for _, v := range corpus {
+		e, err := c.Encode(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs = append(encs, e)
+	}
+	if !(bytes.Compare(encs[0], encs[1]) < 0 && bytes.Compare(encs[1], encs[2]) < 0) {
+		t.Fatalf("order not preserved: %x %x %x", encs[0], encs[1], encs[2])
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestOrderPreservationDense(t *testing.T) {
+	c := train(t, proseSample)
+	values := []string{
+		"", "a", "ab", "abc", "b", "th", "the", "thea", "their", "them",
+		"there", "thereafter", "these", "they", "ti", "tide", "z",
+	}
+	encs := make([][]byte, len(values))
+	for i, v := range values {
+		e, err := c.Encode(nil, []byte(v))
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", v, err)
+		}
+		encs[i] = e
+	}
+	for i := range values {
+		for j := range values {
+			if sign(bytes.Compare(encs[i], encs[j])) != sign(strings.Compare(values[i], values[j])) {
+				t.Fatalf("order(%q,%q) violated: enc %x vs %x", values[i], values[j], encs[i], encs[j])
+			}
+		}
+	}
+}
+
+func TestQuickOrderPreservation(t *testing.T) {
+	c := train(t, proseSample)
+	f := func(a, b []byte) bool {
+		ea, err1 := c.Encode(nil, a)
+		eb, err2 := c.Encode(nil, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sign(bytes.Compare(ea, eb)) == sign(bytes.Compare(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := train(t, proseSample)
+	f := func(v []byte) bool {
+		enc, err := c.Encode(nil, v)
+		if err != nil {
+			return false
+		}
+		dec, err := c.Decode(nil, enc)
+		return err == nil && bytes.Equal(dec, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalsArePartition(t *testing.T) {
+	c := train(t, proseSample)
+	if len(c.intervals) == 0 {
+		t.Fatal("no intervals")
+	}
+	if !bytes.Equal(c.intervals[0].lo, []byte{0x00}) {
+		t.Fatalf("first interval lo = %x, want 00", c.intervals[0].lo)
+	}
+	for i := 1; i < len(c.intervals); i++ {
+		if bytes.Compare(c.intervals[i-1].lo, c.intervals[i].lo) >= 0 {
+			t.Fatalf("intervals not strictly increasing at %d", i)
+		}
+	}
+	for i, iv := range c.intervals {
+		if len(iv.prefix) == 0 {
+			t.Fatalf("interval %d has empty prefix", i)
+		}
+		// The prefix must prefix the lower bound (lo is in the interval).
+		if !bytes.HasPrefix(iv.lo, iv.prefix) {
+			t.Fatalf("interval %d: prefix %q does not prefix lo %q", i, iv.prefix, iv.lo)
+		}
+	}
+}
+
+func TestCompressionOnCategorical(t *testing.T) {
+	// Repeated categorical values (dates, enum-ish strings) should shrink
+	// to roughly one code each.
+	var corpus [][]byte
+	dates := []string{"1998-01-12", "1999-07-30", "2000-12-25", "2001-02-14"}
+	for i := 0; i < 100; i++ {
+		corpus = append(corpus, []byte(dates[i%len(dates)]))
+	}
+	c := train(t, corpus)
+	var orig, comp int
+	for _, v := range corpus {
+		e, _ := c.Encode(nil, v)
+		orig += len(v)
+		comp += len(e)
+	}
+	if ratio := float64(comp) / float64(orig); ratio > 0.35 {
+		t.Fatalf("categorical ratio %.2f, want <= 0.35", ratio)
+	}
+}
+
+func TestCompressionOnProse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := strings.Fields("the quick brown fox jumps over lazy dog gold silver auction item description")
+	var corpus [][]byte
+	for i := 0; i < 300; i++ {
+		var sb strings.Builder
+		for j := 0; j < 12; j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		corpus = append(corpus, []byte(sb.String()))
+	}
+	c := train(t, corpus)
+	var orig, comp int
+	for _, v := range corpus {
+		e, _ := c.Encode(nil, v)
+		orig += len(v)
+		comp += len(e)
+	}
+	if ratio := float64(comp) / float64(orig); ratio > 0.70 {
+		t.Fatalf("prose ratio %.2f, want <= 0.70", ratio)
+	}
+}
+
+func TestSharedPrefixIdentifiers(t *testing.T) {
+	var corpus [][]byte
+	for i := 0; i < 500; i++ {
+		corpus = append(corpus, []byte("person"+itoa(i)))
+	}
+	c := train(t, corpus)
+	var orig, comp int
+	for _, v := range corpus {
+		e, _ := c.Encode(nil, v)
+		orig += len(v)
+		comp += len(e)
+		d, err := c.Decode(nil, e)
+		if err != nil || !bytes.Equal(d, v) {
+			t.Fatalf("round trip %q", v)
+		}
+	}
+	if comp >= orig {
+		t.Fatalf("identifier corpus did not compress: %d >= %d", comp, orig)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	c := train(t, proseSample)
+	model := c.AppendModel(nil)
+	c2, err := compress.LoadModel("alm", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range proseSample {
+		e1, _ := c.Encode(nil, v)
+		e2, err := c2.Encode(nil, v)
+		if err != nil || !bytes.Equal(e1, e2) {
+			t.Fatalf("reloaded model encodes %q differently", v)
+		}
+		d, err := c2.Decode(nil, e2)
+		if err != nil || !bytes.Equal(d, v) {
+			t.Fatalf("reloaded model decode mismatch %q", v)
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := loadModel(nil); err == nil {
+		t.Fatal("empty model accepted")
+	}
+	if _, err := loadModel([]byte{9, 1}); err == nil {
+		t.Fatal("bad code width accepted")
+	}
+	// Non-increasing intervals.
+	var m []byte
+	m = compress.AppendUvarint(m, 1) // width
+	m = compress.AppendUvarint(m, 2) // count
+	m = compress.AppendBytes(m, []byte{0x10})
+	m = compress.AppendBytes(m, []byte{0x10})
+	m = compress.AppendBytes(m, []byte{0x05}) // lo goes backwards
+	m = compress.AppendBytes(m, []byte{0x05})
+	if _, err := loadModel(m); err == nil {
+		t.Fatal("non-increasing intervals accepted")
+	}
+}
+
+func TestDecodeRejectsBadCodes(t *testing.T) {
+	c := train(t, proseSample)
+	if c.codeWidth == 2 {
+		if _, err := c.Decode(nil, []byte{0x01}); err == nil {
+			t.Fatal("odd-length encoding accepted")
+		}
+		if _, err := c.Decode(nil, []byte{0xff, 0xff}); err == nil {
+			t.Fatal("out-of-range code accepted")
+		}
+	}
+}
+
+func TestProps(t *testing.T) {
+	c := train(t, proseSample)
+	p := c.Props()
+	if !p.Eq || !p.Ineq || p.Wild || !p.OrderPreserving {
+		t.Fatalf("unexpected properties %+v", p)
+	}
+	if c.ModelSize() <= 0 {
+		t.Fatal("ModelSize must be positive")
+	}
+}
+
+func TestSucc(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte("a"), []byte("b")},
+		{[]byte("az"), []byte("a{")},
+		{[]byte{0x61, 0xff}, []byte{0x62}},
+		{[]byte{0xff, 0xff}, nil},
+		{[]byte{0xff, 0x00}, []byte{0xff, 0x01}},
+	}
+	for _, c := range cases {
+		got := succ(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Fatalf("succ(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAllFFTokens(t *testing.T) {
+	// Tokens ending in 0xff exercise the open-ended range path.
+	c, err := build([][]byte{{0xff, 0xff}, {0xff, 0xff, 0xff}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range [][]byte{{0xff}, {0xff, 0xff}, {0xff, 0xff, 0xff, 0x01}, {0xfe, 0xff}} {
+		enc, err := c.Encode(nil, v)
+		if err != nil {
+			t.Fatalf("Encode(%x): %v", v, err)
+		}
+		dec, err := c.Decode(nil, enc)
+		if err != nil || !bytes.Equal(dec, v) {
+			t.Fatalf("round trip %x -> %x", v, dec)
+		}
+	}
+}
+
+func BenchmarkEncodeProse(b *testing.B) {
+	c, _ := Train(proseSample, DefaultMaxTokens)
+	v := []byte(strings.Repeat("the affairs of men ", 10))
+	var dst []byte
+	b.SetBytes(int64(len(v)))
+	for i := 0; i < b.N; i++ {
+		dst, _ = c.Encode(dst[:0], v)
+	}
+}
+
+func BenchmarkDecodeProse(b *testing.B) {
+	c, _ := Train(proseSample, DefaultMaxTokens)
+	v := []byte(strings.Repeat("the affairs of men ", 10))
+	enc, _ := c.Encode(nil, v)
+	var dst []byte
+	b.SetBytes(int64(len(v)))
+	for i := 0; i < b.N; i++ {
+		dst, _ = c.Decode(dst[:0], enc)
+	}
+}

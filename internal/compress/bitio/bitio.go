@@ -1,0 +1,110 @@
+// Package bitio provides bit-level writers and readers used by the
+// entropy coders (Huffman, Hu-Tucker) in the XQueC compressor.
+//
+// Compressed values in XQueC are individually accessible, so a coded
+// value is a self-contained bit string. Writer packs bits MSB-first
+// into a byte slice; Reader consumes them in the same order. MSB-first
+// packing has the property that, for prefix-free codes, bytewise
+// comparison of the packed form equals bitwise comparison of the code
+// sequence, which the order-preserving coders rely on.
+package bitio
+
+import "fmt"
+
+// Writer accumulates bits MSB-first into an internal buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	nbit int // total number of bits written
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(bit uint) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit != 0 {
+		w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
+	}
+	w.nbit++
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteCode appends a variable-length code given as packed bytes with an
+// explicit bit length, as produced by code tables.
+func (w *Writer) WriteCode(code []byte, nbits int) {
+	for i := 0; i < nbits; i++ {
+		w.WriteBit(uint(code[i/8]>>(7-uint(i%8))) & 1)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes returns the packed bits. Trailing bits of the final byte are zero.
+// The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse, keeping the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+	end int // total bits available
+}
+
+// NewReader returns a Reader over buf limited to nbits bits.
+// If nbits is negative, all of buf (8*len(buf) bits) is available.
+func NewReader(buf []byte, nbits int) *Reader {
+	if nbits < 0 {
+		nbits = 8 * len(buf)
+	}
+	return &Reader{buf: buf, end: nbits}
+}
+
+// ReadBit returns the next bit, or an error at end of input.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= r.end {
+		return 0, fmt.Errorf("bitio: read past end (%d bits)", r.end)
+	}
+	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits reads n bits (n ≤ 64) MSB-first and returns them as the low
+// bits of the result.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.end - r.pos }
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }

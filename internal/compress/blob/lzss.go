@@ -1,0 +1,193 @@
+// Package blob implements an LZSS sliding-window compressor used where
+// the paper reaches for a general-purpose, order-unaware algorithm
+// (bzip2/gzip): containers that no query touches (§3.3), the XMill-like
+// baseline's container back-end, and the initial "blind" configuration
+// of the greedy search. Nothing can be evaluated on blob-compressed
+// bytes (eq = ineq = wild = false).
+package blob
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xquec/internal/compress"
+)
+
+const (
+	windowBits = 16
+	windowSize = 1 << windowBits // 64 KiB sliding window
+	minMatch   = 4
+	maxMatch   = minMatch + 255 // length fits one byte
+	hashBits   = 15
+	maxChain   = 32 // match-search effort bound
+)
+
+func init() {
+	compress.RegisterLoader("blob", func([]byte) (compress.Codec, error) { return Codec{}, nil })
+}
+
+// Codec is the stateless LZSS coder.
+//
+// Format: groups of up to 8 tokens, each group preceded by a flag byte
+// (bit i set = token i is a match). Literal token: 1 raw byte. Match
+// token: 2-byte little-endian distance (1-based) + 1-byte length-minMatch.
+type Codec struct{}
+
+// Trainer returns the stateless codec (no source model to learn).
+type Trainer struct{}
+
+// Name implements compress.Trainer.
+func (Trainer) Name() string { return "blob" }
+
+// Train implements compress.Trainer.
+func (Trainer) Train([][]byte) (compress.Codec, error) { return Codec{}, nil }
+
+// Name implements compress.Codec.
+func (Codec) Name() string { return "blob" }
+
+// Props implements compress.Codec: nothing evaluates on compressed bytes.
+func (Codec) Props() compress.Properties { return compress.Properties{} }
+
+// ModelSize implements compress.Codec.
+func (Codec) ModelSize() int { return 0 }
+
+// DecodeCost implements compress.Codec: byte-copy decoding is fast, but
+// the whole value must be reconstructed for any predicate.
+func (Codec) DecodeCost() float64 { return 0.2 }
+
+// Encode implements compress.Codec.
+func (Codec) Encode(dst, value []byte) ([]byte, error) {
+	return Compress(dst, value), nil
+}
+
+// Decode implements compress.Codec.
+func (Codec) Decode(dst, enc []byte) ([]byte, error) {
+	return Decompress(dst, enc)
+}
+
+// AppendModel implements compress.Codec.
+func (Codec) AppendModel(dst []byte) []byte { return dst }
+
+// Compress appends the LZSS-compressed form of src to dst.
+func Compress(dst, src []byte) []byte {
+	var head [1 << hashBits]int32
+	var chain []int32
+	if len(src) >= minMatch {
+		chain = make([]int32, len(src))
+	}
+	for i := range head {
+		head[i] = -1
+	}
+
+	var (
+		flagPos  = -1
+		flagBit  = 8
+		emitFlag = func(match bool) {
+			if flagBit == 8 {
+				dst = append(dst, 0)
+				flagPos = len(dst) - 1
+				flagBit = 0
+			}
+			if match {
+				dst[flagPos] |= 1 << uint(flagBit)
+			}
+			flagBit++
+		}
+	)
+
+	insert := func(i int) {
+		if i+minMatch > len(src) {
+			return
+		}
+		h := hash4(src[i:])
+		chain[i] = head[h]
+		head[h] = int32(i)
+	}
+
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= len(src) {
+			h := hash4(src[i:])
+			cand := head[h]
+			for depth := 0; cand >= 0 && depth < maxChain; depth++ {
+				j := int(cand)
+				if i-j > windowSize {
+					break
+				}
+				l := matchLen(src, j, i)
+				if l > bestLen {
+					bestLen, bestDist = l, i-j
+					if l >= maxMatch {
+						break
+					}
+				}
+				cand = chain[j]
+			}
+		}
+		if bestLen >= minMatch {
+			if bestLen > maxMatch {
+				bestLen = maxMatch
+			}
+			emitFlag(true)
+			var d [3]byte
+			binary.LittleEndian.PutUint16(d[:2], uint16(bestDist-1))
+			d[2] = byte(bestLen - minMatch)
+			dst = append(dst, d[:]...)
+			for k := 0; k < bestLen; k++ {
+				insert(i + k)
+			}
+			i += bestLen
+		} else {
+			emitFlag(false)
+			dst = append(dst, src[i])
+			insert(i)
+			i++
+		}
+	}
+	return dst
+}
+
+// Decompress appends the decompressed form of enc to dst.
+func Decompress(dst, enc []byte) ([]byte, error) {
+	base := len(dst)
+	i := 0
+	for i < len(enc) {
+		flags := enc[i]
+		i++
+		for bit := 0; bit < 8 && i < len(enc); bit++ {
+			if flags&(1<<uint(bit)) == 0 {
+				dst = append(dst, enc[i])
+				i++
+				continue
+			}
+			if i+3 > len(enc) {
+				return dst, fmt.Errorf("blob: truncated match token at %d", i)
+			}
+			dist := int(binary.LittleEndian.Uint16(enc[i:])) + 1
+			length := int(enc[i+2]) + minMatch
+			i += 3
+			start := len(dst) - dist
+			if start < base {
+				return dst, fmt.Errorf("blob: match distance %d before start", dist)
+			}
+			for k := 0; k < length; k++ {
+				dst = append(dst, dst[start+k])
+			}
+		}
+	}
+	return dst, nil
+}
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+func matchLen(src []byte, j, i int) int {
+	n := 0
+	for i+n < len(src) && n < maxMatch && src[j+n] == src[i+n] {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package numeric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecimalTrainAndRoundTrip(t *testing.T) {
+	values := [][]byte{[]byte("19.99"), []byte("5.50"), []byte("0.07"), []byte("-3.25"), []byte("1000.00")}
+	c, err := (DecimalTrainer{}).Train(values)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var prevPlain string
+	var encs [][]byte
+	for _, v := range values {
+		enc, err := c.Encode(nil, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(nil, enc)
+		if err != nil || string(dec) != string(v) {
+			t.Fatalf("round trip %s -> %s (%v)", v, dec, err)
+		}
+		encs = append(encs, enc)
+		_ = prevPlain
+	}
+	// Numeric order, not lexicographic: 5.50 < 19.99.
+	e5, _ := c.Encode(nil, []byte("5.50"))
+	e19, _ := c.Encode(nil, []byte("19.99"))
+	if bytes.Compare(e5, e19) >= 0 {
+		t.Fatal("5.50 must sort before 19.99 numerically")
+	}
+	eNeg, _ := c.Encode(nil, []byte("-3.25"))
+	if bytes.Compare(eNeg, e5) >= 0 {
+		t.Fatal("-3.25 must sort before 5.50")
+	}
+}
+
+func TestDecimalTrainerRejects(t *testing.T) {
+	cases := [][][]byte{
+		{[]byte("1.5"), []byte("1.50")},  // mixed scales
+		{[]byte("15")},                   // no fraction
+		{[]byte("1.5.0")},                // two dots
+		{[]byte(".50")},                  // no integer part
+		{[]byte("5.")},                   // no fraction digits
+		{[]byte("abc")},                  // garbage
+		{},                               // empty sample
+		{[]byte("1.50"), []byte("x.yz")}, // partially bad
+	}
+	for i, vs := range cases {
+		if _, err := (DecimalTrainer{}).Train(vs); !errors.Is(err, ErrNotRepresentable) {
+			t.Fatalf("case %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestDecimalScalePersist(t *testing.T) {
+	c := DecimalCodec{Scale: 3}
+	model := c.AppendModel(nil)
+	c2, err := loadDecimal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := c.Encode(nil, []byte("1.234"))
+	dec, err := c2.Decode(nil, enc)
+	if err != nil || string(dec) != "1.234" {
+		t.Fatalf("persisted scale broken: %s %v", dec, err)
+	}
+}
+
+func loadDecimal(model []byte) (DecimalCodec, error) {
+	scale, _, err := testReadUvarint(model)
+	return DecimalCodec{Scale: int(scale)}, err
+}
+
+func testReadUvarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i, x := range b {
+		v |= uint64(x&0x7f) << (7 * uint(i))
+		if x < 0x80 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, errors.New("bad uvarint")
+}
+
+func TestQuickDecimalOrder(t *testing.T) {
+	c := DecimalCodec{Scale: 2}
+	f := func(a, b int32) bool {
+		sa := fmtScaled(int64(a))
+		sb := fmtScaled(int64(b))
+		ea, err1 := c.Encode(nil, []byte(sa))
+		eb, err2 := c.Encode(nil, []byte(sb))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		}
+		return cmp == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtScaled(v int64) string {
+	sign := ""
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	return sign + fmt.Sprintf("%d.%02d", v/100, v%100)
+}
+
+func TestOrderedIntRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 127, 128, 255, 256, -255, -256, 1 << 20, -(1 << 20),
+		1<<63 - 1, -(1 << 62), -9223372036854775808}
+	for _, v := range cases {
+		enc := appendOrderedInt(nil, v)
+		got, n, err := decodeOrderedInt(enc)
+		if err != nil || n != len(enc) || got != v {
+			t.Fatalf("round trip %d -> %d (%v)", v, got, err)
+		}
+	}
+}
+
+func TestOrderedIntCompact(t *testing.T) {
+	if n := len(appendOrderedInt(nil, 42)); n != 2 {
+		t.Fatalf("small int takes %d bytes, want 2", n)
+	}
+	if n := len(appendOrderedInt(nil, -42)); n != 2 {
+		t.Fatalf("small negative takes %d bytes, want 2", n)
+	}
+}
+
+func TestQuickOrderedInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := appendOrderedInt(nil, a)
+		eb := appendOrderedInt(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		}
+		return cmp == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeOrderedIntRejects(t *testing.T) {
+	bad := [][]byte{{}, {0x00}, {0x7f}, {0x80}, {0xff}, {0x82, 0x01}, {0x76}}
+	for _, b := range bad {
+		if _, _, err := decodeOrderedInt(b); err == nil {
+			t.Fatalf("accepted %x", b)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package numeric
+
+import "fmt"
+
+// Order-preserving variable-width integer encoding shared by IntCodec
+// and DecimalCodec: bytes.Compare(enc(a), enc(b)) == cmp(a, b) while
+// small magnitudes take 2 bytes instead of a fixed 8.
+//
+// Layout: for v ≥ 0, the first byte is 0x80+n where n is the minimal
+// big-endian byte count of v, followed by those n bytes. For v < 0, let
+// x = -(v+1); the first byte is 0x7f-n for the minimal byte count n of
+// x, followed by the bytewise complement of x's n big-endian bytes.
+
+// appendOrderedInt appends the order-preserving encoding of v.
+func appendOrderedInt(dst []byte, v int64) []byte {
+	if v >= 0 {
+		u := uint64(v)
+		n := minBytes(u)
+		dst = append(dst, byte(0x80+n))
+		for i := n - 1; i >= 0; i-- {
+			dst = append(dst, byte(u>>(8*uint(i))))
+		}
+		return dst
+	}
+	x := uint64(-(v + 1))
+	n := minBytes(x)
+	dst = append(dst, byte(0x7f-n))
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, ^byte(x>>(8*uint(i))))
+	}
+	return dst
+}
+
+// decodeOrderedInt decodes an encoding produced by appendOrderedInt,
+// returning the value and bytes consumed.
+func decodeOrderedInt(enc []byte) (int64, int, error) {
+	if len(enc) == 0 {
+		return 0, 0, fmt.Errorf("numeric: empty int encoding")
+	}
+	b := enc[0]
+	switch {
+	case b >= 0x81 && b <= 0x88:
+		n := int(b - 0x80)
+		if len(enc) < 1+n {
+			return 0, 0, fmt.Errorf("numeric: truncated int encoding")
+		}
+		var u uint64
+		for i := 0; i < n; i++ {
+			u = u<<8 | uint64(enc[1+i])
+		}
+		if u > 1<<63-1 {
+			return 0, 0, fmt.Errorf("numeric: int overflow")
+		}
+		return int64(u), 1 + n, nil
+	case b >= 0x77 && b <= 0x7e:
+		n := int(0x7f - b)
+		if len(enc) < 1+n {
+			return 0, 0, fmt.Errorf("numeric: truncated int encoding")
+		}
+		var x uint64
+		for i := 0; i < n; i++ {
+			x = x<<8 | uint64(^enc[1+i])
+		}
+		if x > 1<<63-1 {
+			return 0, 0, fmt.Errorf("numeric: int underflow")
+		}
+		return -int64(x) - 1, 1 + n, nil
+	}
+	return 0, 0, fmt.Errorf("numeric: invalid int encoding prefix %#x", b)
+}
+
+func minBytes(u uint64) int {
+	n := 1
+	for u > 0xff {
+		u >>= 8
+		n++
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+// Package datagen generates the experimental corpora of the paper:
+// XMark-style auction documents (substituting the xmlgen generator) and
+// synthetic stand-ins for the three real-life data sets of Figure 6
+// (Shakespeare, Washington-Course, Baseball). Generation is fully
+// deterministic given a seed, so experiments are reproducible.
+package datagen
+
+import "math/rand"
+
+// vocabulary used for prose values. A Shakespeare-flavoured word list
+// makes the character and word distribution close to the paper's text
+// containers, which is what the compressors' ratios depend on.
+var vocabulary = []string{
+	"the", "and", "of", "to", "a", "in", "that", "is", "my", "it",
+	"with", "his", "be", "your", "for", "have", "he", "you", "not", "this",
+	"but", "what", "me", "her", "they", "him", "so", "as", "thou", "will",
+	"all", "do", "no", "shall", "if", "are", "we", "thee", "on", "lord",
+	"thy", "now", "our", "more", "by", "love", "man", "hath", "from", "was",
+	"come", "she", "or", "here", "which", "there", "sir", "well", "at", "would",
+	"how", "good", "them", "like", "upon", "then", "say", "one", "know", "us",
+	"king", "let", "may", "did", "yet", "go", "make", "such", "must", "am",
+	"heart", "out", "see", "than", "when", "give", "where", "who", "most", "death",
+	"night", "time", "day", "eyes", "should", "their", "sweet", "can", "tell", "these",
+	"honour", "never", "speak", "why", "father", "some", "mind", "world", "blood", "men",
+	"gold", "silver", "crown", "sword", "battle", "noble", "grace", "duke", "queen", "fair",
+	"gentle", "heaven", "soul", "fortune", "nature", "reason", "virtue", "wisdom", "youth", "age",
+	"prince", "castle", "garden", "river", "mountain", "shadow", "light", "storm", "winter", "summer",
+	"ancient", "modern", "curious", "precious", "rare", "vintage", "antique", "ornate", "carved", "gilded",
+}
+
+// cityNames, countries and streets populate addresses.
+var cityNames = []string{
+	"Rome", "Paris", "London", "Berlin", "Madrid", "Lisbon", "Athens", "Vienna",
+	"Prague", "Dublin", "Oslo", "Helsinki", "Warsaw", "Budapest", "Brussels", "Amsterdam",
+}
+
+var countries = []string{
+	"Italy", "France", "United Kingdom", "Germany", "Spain", "Portugal",
+	"Greece", "Austria", "United States", "Canada", "Japan", "Australia",
+}
+
+var streets = []string{
+	"Oak Street", "Maple Avenue", "Elm Road", "Pine Lane", "Cedar Way",
+	"Birch Boulevard", "Willow Drive", "Chestnut Court", "Juniper Place",
+}
+
+var firstNames = []string{
+	"Aldo", "Beth", "Carlo", "Dina", "Elio", "Fania", "Gino", "Hanna",
+	"Ivo", "Jana", "Kurt", "Lena", "Milo", "Nora", "Otto", "Pia",
+	"Quin", "Rosa", "Sven", "Tina", "Ugo", "Vera", "Walt", "Xena",
+	"Yuri", "Zara",
+}
+
+var lastNames = []string{
+	"Smith", "Jones", "Brown", "Rossi", "Weber", "Dubois", "Silva", "Novak",
+	"Kovacs", "Janssen", "Nielsen", "Virtanen", "Kowalski", "Papadopoulos",
+	"Costa", "Moreau", "Schmidt", "Bianchi", "Leroy", "Fischer",
+}
+
+// sentence appends nwords vocabulary words to dst, capitalizing the
+// first and terminating with a period.
+func sentence(dst []byte, rng *rand.Rand, nwords int) []byte {
+	for i := 0; i < nwords; i++ {
+		w := vocabulary[rng.Intn(len(vocabulary))]
+		if i == 0 {
+			dst = append(dst, w[0]&^0x20)
+			dst = append(dst, w[1:]...)
+		} else {
+			dst = append(dst, ' ')
+			dst = append(dst, w...)
+		}
+	}
+	return append(dst, '.')
+}
+
+// prose appends nsentences sentences of 6-14 words.
+func prose(dst []byte, rng *rand.Rand, nsentences int) []byte {
+	for i := 0; i < nsentences; i++ {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = sentence(dst, rng, 6+rng.Intn(9))
+	}
+	return dst
+}
+
+// personName returns a deterministic "First Last" name.
+func personName(rng *rand.Rand) string {
+	return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+}
+
+// isoDate returns a date in [1998-01-01, 2003-12-28] as YYYY-MM-DD.
+func isoDate(rng *rand.Rand) string {
+	y := 1998 + rng.Intn(6)
+	m := 1 + rng.Intn(12)
+	d := 1 + rng.Intn(28)
+	b := make([]byte, 0, 10)
+	b = appendInt(b, y, 4)
+	b = append(b, '-')
+	b = appendInt(b, m, 2)
+	b = append(b, '-')
+	b = appendInt(b, d, 2)
+	return string(b)
+}
+
+// appendInt appends n zero-padded to width digits.
+func appendInt(dst []byte, n, width int) []byte {
+	var tmp [12]byte
+	i := len(tmp)
+	for n > 0 || i == len(tmp) {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	for len(tmp)-i < width {
+		i--
+		tmp[i] = '0'
+	}
+	return append(dst, tmp[i:]...)
+}

@@ -1,0 +1,279 @@
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// XMarkConfig controls the auction-site generator. Counts scale linearly
+// with Scale; Scale 1.0 yields roughly one megabyte of XML, so the
+// paper's 1–25 MB sweep is Scale 1–25 and "XMark11" is Scale 11.
+type XMarkConfig struct {
+	Scale float64
+	Seed  int64
+}
+
+// counts derived per unit scale. The ratios follow the XMark schema:
+// many items spread over six regions, people ≈ items, auctions
+// referencing both through IDREFs.
+const (
+	peoplePerUnit  = 720
+	itemsPerUnit   = 620
+	openPerUnit    = 340
+	closedPerUnit  = 280
+	categoriesUnit = 70
+)
+
+var regionNames = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// regionShares skews the item distribution the way xmlgen does (europe
+// and namerica hold most items).
+var regionShares = []int{2, 3, 1, 6, 5, 3}
+
+// XMark generates an auction-site document following the simplified
+// XMark summary of the paper's Figure 1 (right): people with addresses
+// and profiles, regional items with prose descriptions, open auctions
+// with bidders, closed auctions with buyer/seller/itemref IDREFs, and
+// categories.
+func XMark(cfg XMarkConfig) []byte {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nPeople := scaled(peoplePerUnit, cfg.Scale)
+	nItems := scaled(itemsPerUnit, cfg.Scale)
+	nOpen := scaled(openPerUnit, cfg.Scale)
+	nClosed := scaled(closedPerUnit, cfg.Scale)
+	nCategories := scaled(categoriesUnit, cfg.Scale)
+
+	est := int(cfg.Scale * 1.1e6)
+	b := make([]byte, 0, est)
+	b = append(b, `<?xml version="1.0" standalone="yes"?>`...)
+	b = append(b, "<site>"...)
+
+	b = genRegions(b, rng, nItems, nCategories)
+	b = genCategories(b, rng, nCategories)
+	b = genPeople(b, rng, nPeople, nCategories)
+	b = genOpenAuctions(b, rng, nOpen, nItems, nPeople)
+	b = genClosedAuctions(b, rng, nClosed, nItems, nPeople)
+
+	b = append(b, "</site>"...)
+	return b
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func genRegions(b []byte, rng *rand.Rand, nItems, nCategories int) []byte {
+	b = append(b, "<regions>"...)
+	totalShare := 0
+	for _, s := range regionShares {
+		totalShare += s
+	}
+	itemID := 0
+	for ri, region := range regionNames {
+		b = append(b, '<')
+		b = append(b, region...)
+		b = append(b, '>')
+		count := nItems * regionShares[ri] / totalShare
+		if ri == len(regionNames)-1 {
+			count = nItems - itemID // give the remainder to the last region
+		}
+		for k := 0; k < count; k++ {
+			b = genItem(b, rng, itemID, nCategories)
+			itemID++
+		}
+		b = append(b, "</"...)
+		b = append(b, region...)
+		b = append(b, '>')
+	}
+	b = append(b, "</regions>"...)
+	return b
+}
+
+func genItem(b []byte, rng *rand.Rand, id, nCategories int) []byte {
+	b = append(b, `<item id="item`...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, `">`...)
+	b = append(b, "<location>"...)
+	b = append(b, countries[rng.Intn(len(countries))]...)
+	b = append(b, "</location>"...)
+	b = append(b, "<quantity>"...)
+	b = strconv.AppendInt(b, int64(1+rng.Intn(5)), 10)
+	b = append(b, "</quantity>"...)
+	b = append(b, "<name>"...)
+	b = sentence(b, rng, 2+rng.Intn(3))
+	b = append(b, "</name>"...)
+	b = append(b, "<payment>Creditcard</payment>"...)
+	b = append(b, "<description><text>"...)
+	b = prose(b, rng, 3+rng.Intn(6))
+	b = append(b, "</text></description>"...)
+	b = append(b, "<shipping>Will ship internationally</shipping>"...)
+	b = append(b, `<incategory category="category`...)
+	b = strconv.AppendInt(b, int64(rng.Intn(nCategories)), 10)
+	b = append(b, `"/>`...)
+	b = append(b, "</item>"...)
+	return b
+}
+
+func genCategories(b []byte, rng *rand.Rand, n int) []byte {
+	b = append(b, "<categories>"...)
+	for i := 0; i < n; i++ {
+		b = append(b, `<category id="category`...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, `"><name>`...)
+		b = sentence(b, rng, 1+rng.Intn(2))
+		b = append(b, "</name><description><text>"...)
+		b = prose(b, rng, 2+rng.Intn(3))
+		b = append(b, "</text></description></category>"...)
+	}
+	b = append(b, "</categories>"...)
+	return b
+}
+
+func genPeople(b []byte, rng *rand.Rand, n, nCategories int) []byte {
+	b = append(b, "<people>"...)
+	for i := 0; i < n; i++ {
+		b = append(b, `<person id="person`...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, `">`...)
+		name := personName(rng)
+		b = append(b, "<name>"...)
+		b = append(b, name...)
+		b = append(b, "</name>"...)
+		b = append(b, "<emailaddress>mailto:"...)
+		for _, c := range []byte(name) {
+			if c == ' ' {
+				c = '.'
+			}
+			b = append(b, c|0x20)
+		}
+		b = append(b, "@example.com</emailaddress>"...)
+		if rng.Intn(2) == 0 {
+			b = append(b, "<phone>+39 ("...)
+			b = strconv.AppendInt(b, int64(10+rng.Intn(90)), 10)
+			b = append(b, ") "...)
+			b = strconv.AppendInt(b, int64(1000000+rng.Intn(9000000)), 10)
+			b = append(b, "</phone>"...)
+		}
+		if rng.Intn(3) != 0 {
+			b = append(b, "<address><street>"...)
+			b = strconv.AppendInt(b, int64(1+rng.Intn(99)), 10)
+			b = append(b, ' ')
+			b = append(b, streets[rng.Intn(len(streets))]...)
+			b = append(b, "</street><city>"...)
+			b = append(b, cityNames[rng.Intn(len(cityNames))]...)
+			b = append(b, "</city><country>"...)
+			b = append(b, countries[rng.Intn(len(countries))]...)
+			b = append(b, "</country><zipcode>"...)
+			b = strconv.AppendInt(b, int64(10000+rng.Intn(89999)), 10)
+			b = append(b, "</zipcode></address>"...)
+		}
+		if rng.Intn(2) == 0 {
+			b = append(b, "<creditcard>"...)
+			for g := 0; g < 4; g++ {
+				if g > 0 {
+					b = append(b, ' ')
+				}
+				b = strconv.AppendInt(b, int64(1000+rng.Intn(9000)), 10)
+			}
+			b = append(b, "</creditcard>"...)
+		}
+		b = append(b, `<profile income="`...)
+		b = strconv.AppendInt(b, int64(20000+rng.Intn(80000)), 10)
+		b = append(b, `.`...)
+		b = appendInt(b, rng.Intn(100), 2)
+		b = append(b, `">`...)
+		b = append(b, `<interest category="category`...)
+		b = strconv.AppendInt(b, int64(rng.Intn(nCategories)), 10)
+		b = append(b, `"/>`...)
+		if rng.Intn(2) == 0 {
+			b = append(b, "<education>Graduate School</education>"...)
+		}
+		b = append(b, "<age>"...)
+		b = strconv.AppendInt(b, int64(18+rng.Intn(60)), 10)
+		b = append(b, "</age></profile>"...)
+		b = append(b, "<watches/>"...)
+		b = append(b, "</person>"...)
+	}
+	b = append(b, "</people>"...)
+	return b
+}
+
+func genOpenAuctions(b []byte, rng *rand.Rand, n, nItems, nPeople int) []byte {
+	b = append(b, "<open_auctions>"...)
+	for i := 0; i < n; i++ {
+		b = append(b, `<open_auction id="open_auction`...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, `">`...)
+		initial := 1 + rng.Intn(300)
+		b = append(b, "<initial>"...)
+		b = strconv.AppendInt(b, int64(initial), 10)
+		b = append(b, '.')
+		b = appendInt(b, rng.Intn(100), 2)
+		b = append(b, "</initial>"...)
+		if rng.Intn(2) == 0 {
+			b = append(b, "<reserve>"...)
+			b = strconv.AppendInt(b, int64(initial*2), 10)
+			b = append(b, ".00</reserve>"...)
+		}
+		nbids := rng.Intn(5)
+		current := float64(initial)
+		for k := 0; k < nbids; k++ {
+			inc := 1.5 + float64(rng.Intn(12))
+			current += inc
+			b = append(b, "<bidder><date>"...)
+			b = append(b, isoDate(rng)...)
+			b = append(b, `</date><personref person="person`...)
+			b = strconv.AppendInt(b, int64(rng.Intn(nPeople)), 10)
+			b = append(b, `"/><increase>`...)
+			b = strconv.AppendFloat(b, inc, 'f', 2, 64)
+			b = append(b, "</increase></bidder>"...)
+		}
+		b = append(b, "<current>"...)
+		b = strconv.AppendFloat(b, current, 'f', 2, 64)
+		b = append(b, "</current>"...)
+		b = append(b, `<itemref item="item`...)
+		b = strconv.AppendInt(b, int64(rng.Intn(nItems)), 10)
+		b = append(b, `"/><seller person="person`...)
+		b = strconv.AppendInt(b, int64(rng.Intn(nPeople)), 10)
+		b = append(b, `"/>`...)
+		b = append(b, "<annotation><description><text>"...)
+		b = prose(b, rng, 2+rng.Intn(4))
+		b = append(b, "</text></description></annotation>"...)
+		b = append(b, "<quantity>1</quantity><type>Regular</type>"...)
+		b = append(b, "</open_auction>"...)
+	}
+	b = append(b, "</open_auctions>"...)
+	return b
+}
+
+func genClosedAuctions(b []byte, rng *rand.Rand, n, nItems, nPeople int) []byte {
+	b = append(b, "<closed_auctions>"...)
+	for i := 0; i < n; i++ {
+		b = append(b, `<closed_auction><seller person="person`...)
+		b = strconv.AppendInt(b, int64(rng.Intn(nPeople)), 10)
+		b = append(b, `"/><buyer person="person`...)
+		b = strconv.AppendInt(b, int64(rng.Intn(nPeople)), 10)
+		b = append(b, `"/><itemref item="item`...)
+		b = strconv.AppendInt(b, int64(rng.Intn(nItems)), 10)
+		b = append(b, `"/><price>`...)
+		b = strconv.AppendInt(b, int64(5+rng.Intn(500)), 10)
+		b = append(b, '.')
+		b = appendInt(b, rng.Intn(100), 2)
+		b = append(b, "</price><date>"...)
+		b = append(b, isoDate(rng)...)
+		b = append(b, "</date><quantity>1</quantity><type>Regular</type>"...)
+		b = append(b, "<annotation><description><text>"...)
+		b = prose(b, rng, 2+rng.Intn(5))
+		b = append(b, "</text></description></annotation>"...)
+		b = append(b, "</closed_auction>"...)
+	}
+	b = append(b, "</closed_auctions>"...)
+	return b
+}

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xquec/internal/baselines/galaxlike"
+	"xquec/internal/storage"
+)
+
+// randomDoc builds a random record-shaped document: groups of entries
+// with string/int/decimal fields, attributes and occasional nesting —
+// enough variety to exercise paths, predicates, joins and aggregates.
+func randomDoc(rng *rand.Rand) []byte {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	nGroups := 1 + rng.Intn(3)
+	for g := 0; g < nGroups; g++ {
+		fmt.Fprintf(&sb, `<group id="g%d">`, g)
+		for e := 0; e < rng.Intn(8); e++ {
+			fmt.Fprintf(&sb, `<entry key="k%d">`, rng.Intn(5))
+			fmt.Fprintf(&sb, "<label>%s</label>", []string{"alpha", "beta", "gamma", "delta"}[rng.Intn(4)])
+			fmt.Fprintf(&sb, "<num>%d</num>", rng.Intn(100))
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "<price>%d.%02d</price>", rng.Intn(50), rng.Intn(100))
+			}
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&sb, "<nested><label>%s</label></nested>", []string{"x", "y"}[rng.Intn(2)])
+			}
+			sb.WriteString("</entry>")
+		}
+		sb.WriteString("</group>")
+	}
+	sb.WriteString("</root>")
+	return []byte(sb.String())
+}
+
+// queryBattery is the fixed set of query shapes run on every random
+// document.
+var queryBattery = []string{
+	`count(/root/group)`,
+	`count(//entry)`,
+	`/root/group/entry/label/text()`,
+	`//nested/label/text()`,
+	`count(/root/group/entry[@key = "k1"])`,
+	`FOR $e IN //entry WHERE $e/num >= 50 RETURN $e/label/text()`,
+	`FOR $e IN //entry WHERE $e/num >= 20 AND $e/num < 80 RETURN $e/num/text()`,
+	`sum(//entry/num)`,
+	`FOR $g IN /root/group RETURN <g id="{$g/@id}">{count($g/entry)}</g>`,
+	`FOR $g IN /root/group
+	 LET $m := FOR $e IN //entry WHERE $e/@key = "k0" RETURN $e
+	 RETURN count($m)`,
+	`/root/group[1]/entry[1]`,
+	`/root/group[last()]/@id`,
+	`FOR $e IN //entry WHERE contains($e/label, "a") RETURN $e/label/text()`,
+	`FOR $e IN //entry ORDER BY $e/num RETURN $e/num/text()`,
+	`distinct-values(//label/text())`,
+	`FOR $e IN //entry WHERE $e/price >= 10 RETURN $e/price/text()`,
+	`min(//entry/num)`,
+	`(count(//group), count(//label), count(//price))`,
+	`FOR $a IN //entry, $b IN //entry WHERE $a/num = $b/num RETURN $a/@key`,
+}
+
+// TestRandomDifferential compares the compressed engine against the DOM
+// reference on random documents for every query in the battery and
+// every compression plan.
+func TestRandomDifferential(t *testing.T) {
+	plans := []*storage.CompressionPlan{
+		nil,
+		{DefaultAlgorithm: storage.AlgHuffman},
+		{DefaultAlgorithm: storage.AlgHuTucker},
+	}
+	rng := rand.New(rand.NewSource(20040315))
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		doc := randomDoc(rng)
+		ref := galaxlike.New(doc)
+		plan := plans[trial%len(plans)]
+		s, err := storage.Load(doc, storage.LoadOptions{Plan: plan})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eng := New(s)
+		for qi, q := range queryBattery {
+			got, gerr := eng.Query(q)
+			want, werr := ref.Query(q)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("trial %d query %d error mismatch: engine=%v reference=%v\nquery: %s\ndoc: %s",
+					trial, qi, gerr, werr, q, doc)
+			}
+			if gerr != nil {
+				continue
+			}
+			gs, err := got.SerializeXML()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := want.SerializeXML()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gs != ws {
+				t.Fatalf("trial %d query %d differs\nquery: %s\nengine:    %q\nreference: %q\ndoc: %s",
+					trial, qi, q, gs, ws, doc)
+			}
+		}
+	}
+}
+
+// TestRandomDifferentialAfterReload repeats a slice of the battery on a
+// repository that went through serialize + reload.
+func TestRandomDifferentialAfterReload(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		doc := randomDoc(rng)
+		s, err := storage.Load(doc, storage.LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := storage.LoadBinary(s.AppendBinary(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1, e2 := New(s), New(s2)
+		for _, q := range queryBattery[:10] {
+			r1, err1 := e1.Query(q)
+			r2, err2 := e2.Query(q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("reload error mismatch on %s: %v vs %v", q, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			s1, _ := r1.SerializeXML()
+			s2x, _ := r2.SerializeXML()
+			if s1 != s2x {
+				t.Fatalf("reload result mismatch on %s", q)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFunctionLibrary covers every function of the engine's library.
+func TestFunctionLibrary(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	cases := []struct {
+		q, want string
+	}{
+		{`count(/site/people/person)`, "3"},
+		{`count(())`, "0"},
+		{`sum(())`, "0"},
+		{`sum(/site/people/person/age)`, "96"},
+		{`avg(/site/people/person/age)`, "32"},
+		{`min(/site/people/person/age)`, "25"},
+		{`max(/site/people/person/age)`, "41"},
+		{`contains("haystack", "ays")`, "true"},
+		{`contains("haystack", "xyz")`, "false"},
+		{`starts-with("haystack", "hay")`, "true"},
+		{`ends-with("haystack", "ack")`, "true"},
+		{`ends-with("haystack", "hay")`, "false"},
+		{`not(1 = 2)`, "true"},
+		{`empty(())`, "true"},
+		{`empty(/site/people/person)`, "false"},
+		{`exists(/site/people/person)`, "true"},
+		{`exists(/site/missing)`, "false"},
+		{`string(42)`, "42"},
+		{`string(/site/people/person[1]/name)`, "Alice"},
+		{`number("3.5") + 1`, "4.5"},
+		{`string-length("hello")`, "5"},
+		{`concat("a", "b", 3)`, "ab3"},
+		{`string-join(("x", "y", "z"), "-")`, "x-y-z"},
+		{`distinct-values(("a", "b", "a"))`, "a\nb"},
+		{`if (1 < 2) then "yes" else "no"`, "yes"},
+		{`if (2 < 1) then "yes" else "no"`, "no"},
+		{`data(/site/people/person[1]/age/text())`, "30"},
+		{`1 div 4`, "0.25"},
+		{`7 mod 3`, "1"},
+		{`-(3)`, "-3"},
+		{`2 * 3 + 4`, "10"},
+		{`2 + 3 * 4`, "14"},
+	}
+	for _, c := range cases {
+		if got := run(t, e, c.q); got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestFunctionErrors(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	for _, q := range []string{
+		`count()`,
+		`number("abc")`,
+		`min(())`, // empty aggregate over min yields empty; evaluate but serialize must be ""
+	} {
+		_, err := e.Query(q)
+		switch q {
+		case `min(())`:
+			if err != nil {
+				t.Errorf("min(()) should be the empty sequence, got error %v", err)
+			}
+		default:
+			if err == nil {
+				t.Errorf("no error for %s", q)
+			}
+		}
+	}
+}
+
+func TestEffectiveBooleanValues(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	cases := []struct {
+		q, want string
+	}{
+		{`if ("") then 1 else 0`, "0"},
+		{`if ("x") then 1 else 0`, "1"},
+		{`if (0) then 1 else 0`, "0"},
+		{`if (0.5) then 1 else 0`, "1"},
+		{`if (()) then 1 else 0`, "0"},
+		{`if (/site/people) then 1 else 0`, "1"},
+	}
+	for _, c := range cases {
+		if got := run(t, e, c.q); got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestComparisonSemantics(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	cases := []struct {
+		q, want string
+	}{
+		// numeric when both sides parse as numbers
+		{`"10" < "9"`, "false"},
+		{`"abc" < "abd"`, "true"}, // string comparison otherwise
+		{`10 = 10.0`, "true"},
+		{`"1e2" = "100"`, "true"}, // both numeric
+		// existential over sequences
+		{`/site/people/person/age = 25`, "true"},
+		{`/site/people/person/age = 26`, "false"},
+		{`/site/people/person/age != 25`, "true"}, // some age differs
+	}
+	for _, c := range cases {
+		if got := run(t, e, c.q); got != c.want {
+			t.Errorf("%s = %q, want %q", c.q, got, c.want)
+		}
+	}
+}
+
+func TestDeepTextAtomization(t *testing.T) {
+	e := newEngine(t, `<a><b>one <c>two</c> three</b></a>`)
+	if got := run(t, e, `string(/a/b)`); got != "one two three" {
+		t.Fatalf("deep text = %q", got)
+	}
+	if got := run(t, e, `contains(/a/b, "two th")`); got != "true" {
+		t.Fatalf("contains over mixed content = %q", got)
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	e := newEngine(t, `<a note="5 &lt; 6">x &amp; y</a>`)
+	got := run(t, e, `/a`)
+	if !strings.Contains(got, `note="5 &lt; 6"`) || !strings.Contains(got, "x &amp; y") {
+		t.Fatalf("escaping lost: %q", got)
+	}
+}

@@ -1,0 +1,719 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xquec/internal/algebra"
+	"xquec/internal/storage"
+	"xquec/internal/xquery"
+)
+
+// pathState is the intermediate state of path evaluation: the current
+// node set (document order), the summary nodes those nodes belong to,
+// and whether the set is exactly the union of the summary extents —
+// when it is, the next structural step is answered purely from the
+// structure summary (the StructureSummaryAccess strategy of §2.3),
+// without touching the structure tree.
+type pathState struct {
+	nodes algebra.NodeSet
+	sums  []*storage.SummaryNode
+	exact bool
+}
+
+// evalPath evaluates a path expression to a sequence.
+func (e *Engine) evalPath(p *xquery.PathExpr, env *scope) (Seq, error) {
+	st, textTail, err := e.evalPathNodes(p, env)
+	if err != nil {
+		return nil, err
+	}
+	if textTail {
+		texts, err := algebra.TextContent(e.store, st.nodes)
+		if err != nil {
+			return nil, err
+		}
+		out := make(Seq, len(texts))
+		for i, t := range texts {
+			out[i] = t
+		}
+		return out, nil
+	}
+	out := make(Seq, len(st.nodes))
+	for i, id := range st.nodes {
+		out[i] = id
+	}
+	return out, nil
+}
+
+// evalPathNodes evaluates the structural part of a path; if the final
+// step is text(), textTail is true and the returned nodes are the text
+// owners.
+func (e *Engine) evalPathNodes(p *xquery.PathExpr, env *scope) (pathState, bool, error) {
+	st, err := e.pathOrigin(p, env)
+	if err != nil {
+		return pathState{}, false, err
+	}
+	steps := p.Steps
+	for i, step := range steps {
+		if step.Test == xquery.TestText {
+			if i != len(steps)-1 {
+				return pathState{}, false, fmt.Errorf("engine: text() must be the final step")
+			}
+			if len(step.Preds) > 0 {
+				return pathState{}, false, fmt.Errorf("engine: predicates on text() are not supported")
+			}
+			// Restrict to nodes that actually have immediate text.
+			var withText algebra.NodeSet
+			for _, id := range st.nodes {
+				if len(e.store.Node(id).Values) > 0 {
+					withText = append(withText, id)
+				}
+			}
+			st.nodes = withText
+			return st, true, nil
+		}
+		st, err = e.applyStep(st, i == 0 && p.Var == "" /* fromDocument */, step, env)
+		if err != nil {
+			return pathState{}, false, err
+		}
+	}
+	return st, false, nil
+}
+
+// pathOrigin resolves the origin of a path.
+func (e *Engine) pathOrigin(p *xquery.PathExpr, env *scope) (pathState, error) {
+	if p.Var == "" { // absolute: the (single) document
+		return pathState{nodes: nil, sums: nil, exact: true}, nil
+	}
+	var seq Seq
+	var sums []*storage.SummaryNode
+	if p.Var == "." {
+		seq = Seq{env.ctx}
+		sums = env.ctxSums
+	} else {
+		s, ok := env.vars[p.Var]
+		if !ok {
+			return pathState{}, fmt.Errorf("engine: unbound variable $%s", p.Var)
+		}
+		seq = s
+		sums = env.varSums[p.Var]
+	}
+	ids, ok := nodeSeq(seq)
+	if !ok {
+		return pathState{}, errNonNodePath
+	}
+	if len(sums) == 0 && len(ids) > 0 && len(p.Steps) > 0 {
+		// The variable was bound from a non-path source (e.g. a nested
+		// FLWOR): recover the summary nodes by walking each node's tag
+		// path upward.
+		sums = e.summariesOf(ids)
+	}
+	return pathState{nodes: ids, sums: sums, exact: false}, nil
+}
+
+// summariesOf returns the distinct summary nodes the given nodes are
+// instances of.
+func (e *Engine) summariesOf(ids algebra.NodeSet) []*storage.SummaryNode {
+	seen := map[int32]bool{}
+	var out []*storage.SummaryNode
+	for _, id := range ids {
+		sn := e.summaryOf(id)
+		if sn != nil && !seen[sn.ID] {
+			seen[sn.ID] = true
+			out = append(out, sn)
+		}
+	}
+	return out
+}
+
+// summaryOf resolves one node's summary node by its tag path.
+func (e *Engine) summaryOf(id storage.NodeID) *storage.SummaryNode {
+	var tags []string
+	for cur := id; cur != 0; cur = e.store.Parent(cur) {
+		tags = append(tags, e.store.TagOf(cur))
+	}
+	sn := e.store.Sum.Root
+	if sn == nil || sn.Tag != tags[len(tags)-1] {
+		return nil
+	}
+	for i := len(tags) - 2; i >= 0; i-- {
+		var next *storage.SummaryNode
+		for _, c := range sn.Children {
+			if c.Tag == tags[i] {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		sn = next
+	}
+	return sn
+}
+
+var errNonNodePath = fmt.Errorf("engine: path step over non-node sequence")
+
+// summaryChildren returns the distinct summary children of sums
+// matching the step (child axis), or all matching descendants for the
+// descendant axis. fromDocument handles the virtual document node for
+// absolute paths.
+func (e *Engine) summaryTargets(sums []*storage.SummaryNode, fromDocument bool, step xquery.Step) []*storage.SummaryNode {
+	name := step.Name
+	if step.Test == xquery.TestAttr {
+		name = "@" + step.Name
+	}
+	match := func(sn *storage.SummaryNode) bool {
+		if step.Test == xquery.TestName && name == "*" {
+			return !strings.HasPrefix(sn.Tag, "@") && sn.Tag != "#text"
+		}
+		return sn.Tag == name
+	}
+	var out []*storage.SummaryNode
+	seen := map[int32]bool{}
+	add := func(sn *storage.SummaryNode) {
+		if !seen[sn.ID] && match(sn) {
+			seen[sn.ID] = true
+			out = append(out, sn)
+		}
+	}
+	if fromDocument {
+		root := e.store.Sum.Root
+		if step.Axis == xquery.AxisChild {
+			add(root)
+		} else {
+			var walk func(sn *storage.SummaryNode)
+			walk = func(sn *storage.SummaryNode) {
+				add(sn)
+				for _, c := range sn.Children {
+					walk(c)
+				}
+			}
+			walk(root)
+		}
+		return out
+	}
+	for _, sn := range sums {
+		if step.Axis == xquery.AxisChild {
+			for _, c := range sn.Children {
+				add(c)
+			}
+		} else {
+			var walk func(sn *storage.SummaryNode)
+			walk = func(sn *storage.SummaryNode) {
+				for _, c := range sn.Children {
+					add(c)
+					walk(c)
+				}
+			}
+			walk(sn)
+		}
+	}
+	return out
+}
+
+// applyStep applies one structural step (element or attribute test).
+func (e *Engine) applyStep(st pathState, fromDocument bool, step xquery.Step, env *scope) (pathState, error) {
+	targets := e.summaryTargets(st.sums, fromDocument, step)
+	next := pathState{sums: targets}
+	if len(targets) == 0 {
+		return next, nil
+	}
+	positional := false
+	for _, pred := range step.Preds {
+		if isPositionalPred(pred) {
+			positional = true
+		}
+	}
+	if positional {
+		// Positional predicates need per-parent child grouping: evaluate
+		// navigationally from the (materialized) parent set.
+		parents := st.nodes
+		if st.exact {
+			parents = algebra.SummaryAccess(st.sums)
+			if fromDocument {
+				parents = algebra.NodeSet{}
+				if step.Axis == xquery.AxisChild {
+					parents = nil // handled below: document has one child, the root
+				}
+			}
+		}
+		if fromDocument {
+			parents = algebra.NodeSet{1}
+			// position among the root itself
+			sel, err := e.filterPositional(algebra.NodeSet{1}, step, env)
+			if err != nil {
+				return next, err
+			}
+			next.nodes = sel
+			next.exact = false
+			return next, nil
+		}
+		var out []storage.NodeID
+		for _, parent := range parents {
+			kids := e.childList(parent, step, targets)
+			sel, err := e.applyPreds(kids, step.Preds, env, targets)
+			if err != nil {
+				return next, err
+			}
+			out = append(out, sel...)
+		}
+		next.nodes = algebra.SortUnique(out)
+		next.exact = false
+		return next, nil
+	}
+
+	// Structural move.
+	if st.exact || fromDocument {
+		next.nodes = algebra.SummaryAccess(targets)
+		next.exact = true
+	} else {
+		if step.Axis == xquery.AxisChild {
+			next.nodes = childrenWithin(e.store, st.nodes, targets)
+		} else {
+			next.nodes = algebra.Descendants(e.store, st.nodes, algebra.SummaryAccess(targets))
+		}
+		next.exact = false
+	}
+	// Non-positional predicates.
+	if len(step.Preds) > 0 {
+		sel, err := e.applyPreds(next.nodes, step.Preds, env, targets)
+		if err != nil {
+			return next, err
+		}
+		next.nodes = sel
+		next.exact = false
+	}
+	return next, nil
+}
+
+// childrenWithin keeps the targets' extent nodes whose parent is in
+// parents. For small parent sets it scans the parents' kid lists and
+// never materializes the extent union (a FOR-bound variable has one
+// node; touching thousands of extent entries per binding would make
+// predicates quadratic).
+func childrenWithin(s *storage.Store, parents algebra.NodeSet, targets []*storage.SummaryNode) algebra.NodeSet {
+	if len(parents) == 0 || len(targets) == 0 {
+		return nil
+	}
+	extentSize := 0
+	for _, sn := range targets {
+		extentSize += len(sn.Extent)
+	}
+	if extentSize == 0 {
+		return nil
+	}
+	if len(parents)*8 < extentSize {
+		tagSet := map[uint16]bool{}
+		for _, sn := range targets {
+			if code, ok := s.Code(sn.Tag); ok {
+				tagSet[code] = true
+			}
+		}
+		var out []storage.NodeID
+		for _, p := range parents {
+			for _, k := range s.Node(p).Kids {
+				if k.IsValue() {
+					continue
+				}
+				kid := k.Node()
+				if tagSet[s.Node(kid).Tag] {
+					out = append(out, kid)
+				}
+			}
+		}
+		return algebra.SortUnique(out)
+	}
+	extent := algebra.SummaryAccess(targets)
+	inParents := make(map[storage.NodeID]bool, len(parents))
+	for _, p := range parents {
+		inParents[p] = true
+	}
+	var out algebra.NodeSet
+	for _, c := range extent {
+		if inParents[s.Parent(c)] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// childList returns the parent's children matching the step, in
+// document order.
+func (e *Engine) childList(parent storage.NodeID, step xquery.Step, targets []*storage.SummaryNode) algebra.NodeSet {
+	if step.Axis == xquery.AxisDescendantOrSelf {
+		extent := algebra.SummaryAccess(targets)
+		return algebra.Descendants(e.store, algebra.NodeSet{parent}, extent)
+	}
+	name := step.Name
+	if step.Test == xquery.TestAttr {
+		name = "@" + step.Name
+	}
+	var out algebra.NodeSet
+	n := e.store.Node(parent)
+	for _, k := range n.Kids {
+		if k.IsValue() {
+			continue
+		}
+		kid := k.Node()
+		tag := e.store.TagOf(kid)
+		if name == "*" {
+			if !strings.HasPrefix(tag, "@") {
+				out = append(out, kid)
+			}
+		} else if tag == name {
+			out = append(out, kid)
+		}
+	}
+	return out
+}
+
+// isPositionalPred reports whether the predicate selects by position.
+func isPositionalPred(pred xquery.Expr) bool {
+	switch p := pred.(type) {
+	case *xquery.NumberLit:
+		return true
+	case *xquery.Call:
+		return p.Name == "last"
+	}
+	return false
+}
+
+// applyPreds filters candidate nodes by the step predicates, in order.
+func (e *Engine) applyPreds(nodes algebra.NodeSet, preds []xquery.Expr, env *scope, sums []*storage.SummaryNode) (algebra.NodeSet, error) {
+	cur := nodes
+	// AND-predicates are split so each conjunct can use the container
+	// fast path independently.
+	var flat []xquery.Expr
+	for _, pred := range preds {
+		if isPositionalPred(pred) {
+			flat = append(flat, pred)
+			continue
+		}
+		flat = append(flat, splitPredConjuncts(pred)...)
+	}
+	preds = flat
+	for _, pred := range preds {
+		switch p := pred.(type) {
+		case *xquery.NumberLit:
+			idx := int(p.Val)
+			if idx < 1 || idx > len(cur) {
+				cur = nil
+			} else {
+				cur = algebra.NodeSet{cur[idx-1]}
+			}
+			continue
+		case *xquery.Call:
+			if p.Name == "last" {
+				if len(cur) == 0 {
+					continue
+				}
+				cur = algebra.NodeSet{cur[len(cur)-1]}
+				continue
+			}
+		}
+		// Value predicate: container fast path, else per-node.
+		if sel, ok, err := e.predFastPath(cur, sums, pred, env); err != nil {
+			return nil, err
+		} else if ok {
+			cur = sel
+			continue
+		}
+		var out algebra.NodeSet
+		for _, id := range cur {
+			sub := env.withCtx(id, sums)
+			v, err := e.eval(pred, sub)
+			if err != nil {
+				return nil, err
+			}
+			b, err := e.effectiveBool(v)
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				out = append(out, id)
+			}
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// splitPredConjuncts flattens an AND tree inside a step predicate.
+func splitPredConjuncts(pred xquery.Expr) []xquery.Expr {
+	if l, isLogic := pred.(*xquery.Logic); isLogic && l.Op == "and" {
+		return append(splitPredConjuncts(l.Left), splitPredConjuncts(l.Right)...)
+	}
+	return []xquery.Expr{pred}
+}
+
+// filterPositional applies only positional predicates to a node list.
+func (e *Engine) filterPositional(nodes algebra.NodeSet, step xquery.Step, env *scope) (algebra.NodeSet, error) {
+	return e.applyPreds(nodes, step.Preds, env, nil)
+}
+
+// ---------------------------------------------------------------------
+// Compressed-domain predicate fast path
+// ---------------------------------------------------------------------
+
+// relValueTarget resolves a context-relative path (inside a predicate or
+// a WHERE clause) to the value containers it denotes under the given
+// summary nodes. ok is false when the shape is unsupported (the caller
+// then evaluates row-at-a-time). complete reports that every instance of
+// the path has a value in the containers — when false, only existential
+// equality against a non-empty literal is sound on the containers alone.
+func (e *Engine) relValueTarget(sums []*storage.SummaryNode, p *xquery.PathExpr) (conts []*storage.Container, complete bool, ok bool) {
+	if p.Var == "" {
+		return nil, false, false // absolute paths are not context-relative
+	}
+	cur := sums
+	for _, step := range p.Steps {
+		if len(step.Preds) > 0 {
+			return nil, false, false
+		}
+		if step.Test == xquery.TestText {
+			break
+		}
+		cur = e.summaryTargets(cur, false, step)
+		if len(cur) == 0 {
+			return nil, true, true // statically empty: no container, no match
+		}
+	}
+	// Terminal: the value container(s). For attribute ends, the summary
+	// node itself holds the container; for element ends, its #text
+	// child — valid only when the element's string value IS its
+	// immediate text, i.e. it has no element children (mixed or nested
+	// content would need deep-text comparison).
+	complete = true
+	seen := map[int32]bool{}
+	for _, sn := range cur {
+		target := sn
+		if !strings.HasPrefix(sn.Tag, "@") {
+			var txt *storage.SummaryNode
+			for _, c := range sn.Children {
+				if c.Tag == "#text" {
+					txt = c
+					continue
+				}
+				if !strings.HasPrefix(c.Tag, "@") {
+					return nil, false, false // element content: deep value
+				}
+			}
+			if txt == nil {
+				// No instance has a text value: their string values are
+				// all "", which the containers cannot answer.
+				return nil, false, false
+			}
+			if txt.Count < sn.Count {
+				complete = false // some instances have no text value
+			}
+			target = txt
+		}
+		if target.Container < 0 || seen[target.ID] {
+			continue
+		}
+		seen[target.ID] = true
+		conts = append(conts, e.store.Container(target.Container))
+	}
+	return conts, complete, true
+}
+
+// predFastPath evaluates predicates of the form  relPath op literal
+// (either side) against the containers, in the compressed domain when
+// the codec supports the comparison. It returns ok=false when the
+// predicate does not have that shape.
+func (e *Engine) predFastPath(nodes algebra.NodeSet, sums []*storage.SummaryNode, pred xquery.Expr, env *scope) (algebra.NodeSet, bool, error) {
+	cmp, okShape := pred.(*xquery.Cmp)
+	if !okShape || len(sums) == 0 {
+		return nil, false, nil
+	}
+	rel, lit, op, ok := splitCmp(cmp)
+	if !ok {
+		return nil, false, nil
+	}
+	owners, ok, err := e.matchOwners(sums, rel, op, lit)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return algebra.SemiJoinAncestor(e.store, nodes, owners), true, nil
+}
+
+// splitCmp normalizes a comparison into (relative path, literal,
+// effective operator). Comparisons with the literal on the left flip
+// the operator.
+func splitCmp(cmp *xquery.Cmp) (*xquery.PathExpr, string, string, bool) {
+	lit := func(e xquery.Expr) (string, bool) {
+		switch v := e.(type) {
+		case *xquery.StringLit:
+			return v.Val, true
+		case *xquery.NumberLit:
+			return formatNum(v.Val), true
+		}
+		return "", false
+	}
+	if p, isPath := cmp.Left.(*xquery.PathExpr); isPath && p.Var == "." {
+		if l, isLit := lit(cmp.Right); isLit {
+			return p, l, cmp.Op, true
+		}
+	}
+	if p, isPath := cmp.Right.(*xquery.PathExpr); isPath && p.Var == "." {
+		if l, isLit := lit(cmp.Left); isLit {
+			return p, l, flipOp(cmp.Op), true
+		}
+	}
+	return nil, "", "", false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and != are symmetric
+}
+
+// matchOwners returns the owner nodes (value parents) matching
+// `relPath op literal` under the given summary nodes.
+func (e *Engine) matchOwners(sums []*storage.SummaryNode, rel *xquery.PathExpr, op, literal string) (algebra.NodeSet, bool, error) {
+	conts, complete, ok := e.relValueTarget(sums, rel)
+	if !ok {
+		return nil, false, nil
+	}
+	// An instance without a text value still atomizes to the string ""
+	// (an empty element's string value), which matches != and <-style
+	// comparisons — but has no container record. When such instances
+	// exist (complete == false), only equality against a non-empty
+	// literal is sound on the containers alone.
+	if !complete && !(op == "=" && literal != "") {
+		return nil, false, nil
+	}
+	if op == "=" && literal == "" {
+		// "" never appears in the containers (empty text nodes are not
+		// recorded); fall back to per-node evaluation.
+		return nil, false, nil
+	}
+	var all []algebra.NodeSet
+	for _, c := range conts {
+		owners, ok, err := e.containerMatch(c, op, literal)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		all = append(all, owners)
+	}
+	return algebra.MergeUnion(all...), true, nil
+}
+
+// containerMatch evaluates `value op literal` over one container,
+// preferring the compressed domain.
+func (e *Engine) containerMatch(c *storage.Container, op, literal string) (algebra.NodeSet, bool, error) {
+	_, litIsNum := parseNum(literal)
+	// String containers compared against numeric literals follow
+	// numeric semantics per value ("40.0" = 40): fall back to a
+	// decoding scan.
+	if c.Kind == storage.KindString && litIsNum {
+		owners, err := algebra.ContFilter(c, func(plain []byte) bool {
+			return compareAtoms(op, string(plain), literal)
+		})
+		return owners, err == nil, err
+	}
+	probe, exact := canonicalProbe(c, literal)
+	if !exact {
+		// The literal is not representable in the container's value
+		// space exactly (e.g. "40" against a scale-2 decimal container
+		// would be, but "abc" against an int container is not):
+		// fall back to the decoding scan with general semantics.
+		owners, err := algebra.ContFilter(c, func(plain []byte) bool {
+			return compareAtoms(op, string(plain), literal)
+		})
+		return owners, err == nil, err
+	}
+	switch op {
+	case "=":
+		owners, err := algebra.ContEq(c, probe)
+		return owners, err == nil, err
+	case "!=":
+		owners, err := algebra.ContFilter(c, func(plain []byte) bool {
+			return compareAtoms("!=", string(plain), literal)
+		})
+		return owners, err == nil, err
+	case "<":
+		owners, err := algebra.ContRange(c, nil, true, probe, false)
+		return owners, err == nil, err
+	case "<=":
+		owners, err := algebra.ContRange(c, nil, true, probe, true)
+		return owners, err == nil, err
+	case ">":
+		owners, err := algebra.ContRange(c, probe, false, nil, true)
+		return owners, err == nil, err
+	case ">=":
+		owners, err := algebra.ContRange(c, probe, true, nil, true)
+		return owners, err == nil, err
+	}
+	return nil, false, nil
+}
+
+func parseNum(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return f, err == nil
+}
+
+// canonicalProbe reformats a literal into the container's canonical
+// value text, so the typed codecs can encode it; exact=false means the
+// literal cannot be made canonical and the caller must scan.
+func canonicalProbe(c *storage.Container, literal string) ([]byte, bool) {
+	switch c.Kind {
+	case storage.KindString:
+		return []byte(literal), true
+	case storage.KindInt:
+		f, ok := parseNum(literal)
+		if !ok || f != float64(int64(f)) {
+			return nil, false
+		}
+		return []byte(strconv.FormatInt(int64(f), 10)), true
+	case storage.KindDecimal:
+		f, ok := parseNum(literal)
+		if !ok {
+			return nil, false
+		}
+		// Infer the scale from an existing record: decode one value.
+		if c.Len() == 0 {
+			return nil, false
+		}
+		v, err := c.Decode(nil, 0)
+		if err != nil {
+			return nil, false
+		}
+		dot := strings.IndexByte(string(v), '.')
+		if dot < 0 {
+			return nil, false
+		}
+		scale := len(v) - dot - 1
+		s := strconv.FormatFloat(f, 'f', scale, 64)
+		if got, _ := parseNum(s); got != f {
+			return nil, false // literal has more precision than the scale
+		}
+		return []byte(s), true
+	case storage.KindFloat:
+		f, ok := parseNum(literal)
+		if !ok {
+			return nil, false
+		}
+		return []byte(strconv.FormatFloat(f, 'f', -1, 64)), true
+	case storage.KindDate:
+		if len(literal) == 10 && literal[4] == '-' && literal[7] == '-' {
+			return []byte(literal), true
+		}
+		return nil, false
+	}
+	return nil, false
+}

@@ -1,0 +1,263 @@
+// Package engine implements the XQueC query processor (Fig. 1, module
+// 3): it evaluates parsed XQuery expressions over the compressed
+// repository, keeping values compressed for as long as possible —
+// predicates run in the compressed domain when the container's codec
+// allows, equality joins run as compressed merge joins when the join
+// sides share a source model, and decompression happens only in final
+// result construction (§4).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xquec/internal/storage"
+)
+
+// Item is one item of an XQuery sequence: a stored node (storage.NodeID),
+// an atomic value (string, float64, bool), or a constructed element
+// (*Fragment).
+type Item interface{}
+
+// Fragment is an element built by a constructor; its content may mix
+// atoms, stored nodes (copied at serialization time) and nested
+// fragments.
+type Fragment struct {
+	Name    string
+	Attrs   []FragAttr
+	Content []Item
+}
+
+// FragAttr is a constructed attribute.
+type FragAttr struct {
+	Name  string
+	Value string
+}
+
+// Seq is an XQuery sequence.
+type Seq []Item
+
+// Result is the outcome of a query.
+type Result struct {
+	Items Seq
+	store *storage.Store
+}
+
+// Len returns the number of items.
+func (r *Result) Len() int { return len(r.Items) }
+
+// SerializeXML renders the result sequence as XML/text, decompressing
+// stored nodes on output (the XMLSerialize operator). Items are
+// separated by newlines.
+func (r *Result) SerializeXML() (string, error) {
+	var sb strings.Builder
+	for i, it := range r.Items {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		b, err := serializeItem(nil, r.store, it)
+		if err != nil {
+			return "", err
+		}
+		sb.Write(b)
+	}
+	return sb.String(), nil
+}
+
+func serializeItem(dst []byte, s *storage.Store, it Item) ([]byte, error) {
+	switch v := it.(type) {
+	case storage.NodeID:
+		return s.Serialize(dst, v)
+	case string:
+		return append(dst, v...), nil
+	case float64:
+		return append(dst, formatNum(v)...), nil
+	case bool:
+		return strconv.AppendBool(dst, v), nil
+	case *Fragment:
+		dst = append(dst, '<')
+		dst = append(dst, v.Name...)
+		for _, a := range v.Attrs {
+			dst = append(dst, ' ')
+			dst = append(dst, a.Name...)
+			dst = append(dst, '=', '"')
+			dst = appendEscAttr(dst, a.Value)
+			dst = append(dst, '"')
+		}
+		if len(v.Content) == 0 {
+			return append(dst, '/', '>'), nil
+		}
+		dst = append(dst, '>')
+		var err error
+		for _, c := range v.Content {
+			if str, ok := c.(string); ok {
+				dst = appendEscText(dst, str)
+				continue
+			}
+			dst, err = serializeItem(dst, s, c)
+			if err != nil {
+				return dst, err
+			}
+		}
+		dst = append(dst, '<', '/')
+		dst = append(dst, v.Name...)
+		return append(dst, '>'), nil
+	}
+	return dst, fmt.Errorf("engine: cannot serialize %T", it)
+}
+
+func appendEscText(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+func appendEscAttr(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// formatNum renders numbers the XPath way: integers without a decimal
+// point.
+func formatNum(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// stringValue atomizes one item to its string value, decompressing
+// stored node content as needed.
+func (e *Engine) stringValue(it Item) (string, error) {
+	switch v := it.(type) {
+	case storage.NodeID:
+		var b []byte
+		var err error
+		if e.store.IsAttr(v) {
+			b, err = e.store.Text(nil, v)
+		} else {
+			b, err = e.store.DeepText(nil, v)
+		}
+		return string(b), err
+	case string:
+		return v, nil
+	case float64:
+		return formatNum(v), nil
+	case bool:
+		return strconv.FormatBool(v), nil
+	case *Fragment:
+		var sb strings.Builder
+		for _, c := range v.Content {
+			s, err := e.stringValue(c)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(s)
+		}
+		return sb.String(), nil
+	}
+	return "", fmt.Errorf("engine: cannot atomize %T", it)
+}
+
+// atomize flattens a sequence into string atoms.
+func (e *Engine) atomize(s Seq) ([]string, error) {
+	out := make([]string, 0, len(s))
+	for _, it := range s {
+		a, err := e.stringValue(it)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// effectiveBool implements the XPath effective boolean value.
+func (e *Engine) effectiveBool(s Seq) (bool, error) {
+	if len(s) == 0 {
+		return false, nil
+	}
+	if len(s) == 1 {
+		switch v := s[0].(type) {
+		case bool:
+			return v, nil
+		case string:
+			return v != "", nil
+		case float64:
+			return v != 0, nil
+		}
+	}
+	// node (or longer) sequences are true by existence
+	return true, nil
+}
+
+// compareAtoms applies a general-comparison operator to two atoms:
+// numerically when both parse as numbers, as strings otherwise.
+func compareAtoms(op, a, b string) bool {
+	fa, ea := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, eb := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	var cmp int
+	if ea == nil && eb == nil {
+		switch {
+		case fa < fb:
+			cmp = -1
+		case fa > fb:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(a, b)
+	}
+	switch op {
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// nodeSeq extracts the NodeIDs of a sequence in document order; ok is
+// false if the sequence holds non-node items.
+func nodeSeq(s Seq) ([]storage.NodeID, bool) {
+	out := make([]storage.NodeID, 0, len(s))
+	for _, it := range s {
+		id, isNode := it.(storage.NodeID)
+		if !isNode {
+			return nil, false
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestQuickAll(t *testing.T) {
+	if rows, err := Figure6Right([]float64{0.2}); err != nil || len(rows) != 1 {
+		t.Fatalf("%v %v", rows, err)
+	} else {
+		t.Log(rows[0])
+	}
+	if rows, err := Figure7(0.2, 1); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, r := range rows {
+			t.Log(r)
+		}
+	}
+	if rows, err := Section33(800); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, r := range rows {
+			t.Log(r)
+		}
+	}
+	if rows, err := Figure4Q14(0.2); err != nil {
+		t.Fatal(err)
+	} else {
+		for _, r := range rows {
+			t.Log(r)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"xquec/internal/compress"
+	"xquec/internal/compress/alm"
+	"xquec/internal/compress/blob"
+	"xquec/internal/compress/huffman"
+	"xquec/internal/compress/hutucker"
+)
+
+// costmodelTrainer matches compress.Trainer.
+type costmodelTrainer = compress.Trainer
+
+// sec33Trainers constrain ALM's dictionary so that sharing one source
+// model across dissimilar containers visibly hurts the ratio, as in the
+// paper's example.
+var sec33Trainers = map[string]costmodelTrainer{
+	"alm":      alm.Trainer{MaxTokens: 128},
+	"huffman":  huffman.Trainer{},
+	"hutucker": hutucker.Trainer{},
+	"blob":     blob.Trainer{},
+}

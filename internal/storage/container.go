@@ -1,0 +1,264 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"xquec/internal/compress"
+	"xquec/internal/compress/alm"
+	"xquec/internal/compress/blob"
+	"xquec/internal/compress/huffman"
+	"xquec/internal/compress/hutucker"
+	"xquec/internal/compress/numeric"
+)
+
+var trainers = map[string]compress.Trainer{
+	AlgALM:      alm.Trainer{},
+	AlgHuffman:  huffman.Trainer{},
+	AlgHuTucker: hutucker.Trainer{},
+	AlgBlob:     blob.Trainer{},
+	AlgInt:      numeric.IntTrainer{},
+	AlgFloat:    numeric.FloatTrainer{},
+	AlgDate:     numeric.DateTrainer{},
+	AlgDecimal:  numeric.DecimalTrainer{},
+}
+
+// Container holds all values found under one root-to-leaf path (§2.2).
+// Records are sorted in value order — plaintext order, which for
+// order-preserving codecs equals compressed-byte order — enabling binary
+// search (the paper: "containers closely resemble B+trees on values").
+// For order-agnostic codecs an extra permutation sorted by compressed
+// bytes supports equality search without decompression.
+type Container struct {
+	Path  string // e.g. /site/people/person/name/#text or .../@id
+	Kind  ValueKind
+	Group string // source-model group name
+
+	codec compress.Codec
+	recs  []Record
+	// eqOrder: permutation of recs sorted by compressed bytes; nil when
+	// the codec is order-preserving (recs themselves are then sorted by
+	// compressed bytes).
+	eqOrder []int32
+}
+
+// Codec returns the container's codec.
+func (c *Container) Codec() compress.Codec { return c.codec }
+
+// Len returns the number of records.
+func (c *Container) Len() int { return len(c.recs) }
+
+// Record returns the i-th record in value order.
+func (c *Container) Record(i int) Record { return c.recs[i] }
+
+// Decode appends the decompressed i-th value to dst.
+func (c *Container) Decode(dst []byte, i int) ([]byte, error) {
+	return c.codec.Decode(dst, c.recs[i].Value)
+}
+
+// Encode compresses a probe value with the container's codec.
+func (c *Container) Encode(dst, plain []byte) ([]byte, error) {
+	return c.codec.Encode(dst, plain)
+}
+
+// CompressedBytes returns the total compressed payload size.
+func (c *Container) CompressedBytes() int {
+	n := 0
+	for i := range c.recs {
+		n += len(c.recs[i].Value)
+	}
+	return n
+}
+
+// FindEq returns the range [lo, hi) of record indexes (in value order)
+// whose value equals plain. It never decompresses: for order-preserving
+// codecs it binary-searches the records, otherwise it binary-searches
+// the compressed-byte permutation and maps back — in that case the
+// returned indexes are positions in eqOrder, and EqAt must be used.
+func (c *Container) FindEq(plain []byte) (EqMatch, error) {
+	enc, err := c.codec.Encode(nil, plain)
+	if err != nil {
+		return EqMatch{}, err
+	}
+	if c.codec.Props().OrderPreserving {
+		lo := sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(c.recs[i].Value, enc) >= 0 })
+		hi := sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(c.recs[i].Value, enc) > 0 })
+		return EqMatch{c: c, lo: lo, hi: hi, direct: true}, nil
+	}
+	lo := sort.Search(len(c.eqOrder), func(i int) bool {
+		return bytes.Compare(c.recs[c.eqOrder[i]].Value, enc) >= 0
+	})
+	hi := sort.Search(len(c.eqOrder), func(i int) bool {
+		return bytes.Compare(c.recs[c.eqOrder[i]].Value, enc) > 0
+	})
+	return EqMatch{c: c, lo: lo, hi: hi, direct: false}, nil
+}
+
+// EqMatch is the result of an equality lookup: Count record positions,
+// retrievable via At.
+type EqMatch struct {
+	c      *Container
+	lo, hi int
+	direct bool
+}
+
+// Count returns the number of matching records.
+func (m EqMatch) Count() int { return m.hi - m.lo }
+
+// At returns the record index (in value order) of the i-th match.
+func (m EqMatch) At(i int) int {
+	if m.direct {
+		return m.lo + i
+	}
+	return int(m.c.eqOrder[m.lo+i])
+}
+
+// FindRange returns the half-open range [lo, hi) of record indexes whose
+// value v satisfies loPlain ≤/< v ≤/< hiPlain, evaluated in the
+// compressed domain. It requires an order-preserving codec; otherwise
+// ErrNeedsDecompression is returned and the caller must scan+decode.
+func (c *Container) FindRange(loPlain []byte, loInclusive bool, hiPlain []byte, hiInclusive bool) (int, int, error) {
+	if !c.codec.Props().OrderPreserving {
+		return 0, 0, ErrNeedsDecompression
+	}
+	lo := 0
+	if loPlain != nil {
+		enc, err := c.codec.Encode(nil, loPlain)
+		if err != nil {
+			return 0, 0, err
+		}
+		if loInclusive {
+			lo = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(c.recs[i].Value, enc) >= 0 })
+		} else {
+			lo = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(c.recs[i].Value, enc) > 0 })
+		}
+	}
+	hi := len(c.recs)
+	if hiPlain != nil {
+		enc, err := c.codec.Encode(nil, hiPlain)
+		if err != nil {
+			return 0, 0, err
+		}
+		if hiInclusive {
+			hi = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(c.recs[i].Value, enc) > 0 })
+		} else {
+			hi = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(c.recs[i].Value, enc) >= 0 })
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi, nil
+}
+
+// ErrNeedsDecompression reports that a predicate cannot be evaluated in
+// the compressed domain for this container's codec; the query processor
+// then inserts an explicit decompress step (case (iii) of the cost
+// model's decompression accounting).
+var ErrNeedsDecompression = fmt.Errorf("storage: predicate requires decompression for this codec")
+
+// FindRangeDecoding answers the same interval query as FindRange for
+// order-agnostic codecs: records are kept in *plaintext* order at build
+// time, so a binary search that decodes O(log n) probe records finds
+// the bounds — the case-(iii) decompression the cost model charges,
+// but logarithmic instead of a full container scan.
+func (c *Container) FindRangeDecoding(loPlain []byte, loInclusive bool, hiPlain []byte, hiInclusive bool) (int, int, error) {
+	var buf []byte
+	var decodeErr error
+	decodeAt := func(i int) []byte {
+		if decodeErr != nil {
+			return nil
+		}
+		var err error
+		buf, err = c.codec.Decode(buf[:0], c.recs[i].Value)
+		if err != nil {
+			decodeErr = err
+		}
+		return buf
+	}
+	lo := 0
+	if loPlain != nil {
+		if loInclusive {
+			lo = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(decodeAt(i), loPlain) >= 0 })
+		} else {
+			lo = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(decodeAt(i), loPlain) > 0 })
+		}
+	}
+	hi := len(c.recs)
+	if hiPlain != nil {
+		if hiInclusive {
+			hi = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(decodeAt(i), hiPlain) > 0 })
+		} else {
+			hi = sort.Search(len(c.recs), func(i int) bool { return bytes.Compare(decodeAt(i), hiPlain) >= 0 })
+		}
+	}
+	if decodeErr != nil {
+		return 0, 0, decodeErr
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi, nil
+}
+
+// buildContainer compresses plaintext values into a sorted container.
+// The values arrive as (plaintext, owner) pairs in document order; the
+// returned mapping m gives, for document-order position j, the record
+// index after sorting — the loader uses it to fill node ValueRefs.
+func buildContainer(path string, kind ValueKind, group string, codec compress.Codec, plains [][]byte, owners []NodeID) (*Container, []int32, error) {
+	type tagged struct {
+		plain []byte
+		pos   int32
+	}
+	items := make([]tagged, len(plains))
+	for i := range plains {
+		items[i] = tagged{plains[i], int32(i)}
+	}
+	// Sort by value order. For typed kinds the encoded form is what
+	// defines order, but typed codecs are order-preserving over valid
+	// values, so sorting by encoding is equivalent and simpler: encode
+	// first, then sort. Do the same for all codecs: OP codecs sort by
+	// encoding; order-agnostic codecs sort by plaintext.
+	op := codec.Props().OrderPreserving
+	encs := make([][]byte, len(plains))
+	// Duplicate values (enumerations, flags, repeated names) are common;
+	// encode each distinct plaintext once.
+	cache := make(map[string][]byte, len(plains)/2+1)
+	for i := range plains {
+		if e, ok := cache[string(plains[i])]; ok {
+			encs[i] = e
+			continue
+		}
+		e, err := codec.Encode(nil, plains[i])
+		if err != nil {
+			return nil, nil, fmt.Errorf("container %s: encode %q: %w", path, plains[i], err)
+		}
+		encs[i] = e
+		cache[string(plains[i])] = e
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		ia, ib := items[a], items[b]
+		if op {
+			return bytes.Compare(encs[ia.pos], encs[ib.pos]) < 0
+		}
+		return bytes.Compare(ia.plain, ib.plain) < 0
+	})
+	c := &Container{Path: path, Kind: kind, Group: group, codec: codec}
+	c.recs = make([]Record, len(items))
+	mapping := make([]int32, len(items))
+	for i, it := range items {
+		c.recs[i] = Record{Value: encs[it.pos], Owner: owners[it.pos]}
+		mapping[it.pos] = int32(i)
+	}
+	if !op {
+		c.eqOrder = make([]int32, len(c.recs))
+		for i := range c.eqOrder {
+			c.eqOrder[i] = int32(i)
+		}
+		sort.SliceStable(c.eqOrder, func(a, b int) bool {
+			return bytes.Compare(c.recs[c.eqOrder[a]].Value, c.recs[c.eqOrder[b]].Value) < 0
+		})
+	}
+	return c, mapping, nil
+}

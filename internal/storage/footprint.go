@@ -1,0 +1,88 @@
+package storage
+
+import "fmt"
+
+// Footprint breaks down the repository's *in-memory* size into the
+// components §2.2 discusses. The access-support structures — parent
+// pointers ("backward edges"), pre/post/level navigation fields, the B+
+// index and the structure summary with its extents — are what the paper
+// says can be dropped to shrink the database by a factor of 3–4 at the
+// price of query performance. (The on-disk format already omits them;
+// LoadBinary re-derives them, so the in-memory view is the right place
+// to measure the trade-off.)
+type Footprint struct {
+	Dictionary     int // name dictionary
+	StructureTree  int // tag codes + child lists + value refs
+	ParentPointers int // backward edges + subtree ends + levels
+	BPlusIndex     int // B+ tree over node records
+	Summary        int // structure summary including extents
+	Containers     int // compressed value payloads + owner pointers
+	SourceModels   int // compression source models
+}
+
+// Total is the full repository size (all access structures included).
+func (f Footprint) Total() int {
+	return f.Dictionary + f.StructureTree + f.ParentPointers + f.BPlusIndex +
+		f.Summary + f.Containers + f.SourceModels
+}
+
+// Minimal is the size without the access-support structures (no parent
+// pointers, no B+ index, no summary) — the §2.2 ablation.
+func (f Footprint) Minimal() int {
+	return f.Dictionary + f.StructureTree + f.Containers + f.SourceModels
+}
+
+// AccessOverheadFactor returns Total / Minimal.
+func (f Footprint) AccessOverheadFactor() float64 {
+	m := f.Minimal()
+	if m == 0 {
+		return 0
+	}
+	return float64(f.Total()) / float64(m)
+}
+
+func (f Footprint) String() string {
+	return fmt.Sprintf("dict=%d tree=%d parents=%d b+=%d summary=%d containers=%d models=%d total=%d",
+		f.Dictionary, f.StructureTree, f.ParentPointers, f.BPlusIndex,
+		f.Summary, f.Containers, f.SourceModels, f.Total())
+}
+
+// Footprint measures the repository's in-memory component sizes.
+func (s *Store) Footprint() Footprint {
+	var f Footprint
+	for _, n := range s.Names {
+		f.Dictionary += len(n) + 16
+	}
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		f.StructureTree += 2 + 4*len(n.Kids) + 8*len(n.Values)
+		f.ParentPointers += 4 + 4 + 2 // parent + subtree end + level
+	}
+	if s.Index != nil {
+		f.BPlusIndex = s.Index.FootprintBytes()
+	}
+	f.Summary = s.Sum.FootprintBytes()
+	for _, c := range s.Containers {
+		f.Containers += len(c.Path) + 16
+		for i := range c.recs {
+			f.Containers += len(c.recs[i].Value) + 4
+		}
+		if c.eqOrder != nil {
+			f.Containers += 4 * len(c.eqOrder)
+		}
+	}
+	for _, gm := range s.Models {
+		f.SourceModels += gm.Codec.ModelSize()
+	}
+	return f
+}
+
+// CompressionFactor returns 1 - compressed/original, the paper's CF
+// metric, using the serialized repository size (what would sit on disk,
+// access structures re-derived at load).
+func (s *Store) CompressionFactor() float64 {
+	if s.OriginalSize == 0 {
+		return 0
+	}
+	return 1 - float64(len(s.AppendBinary(nil)))/float64(s.OriginalSize)
+}

@@ -1,0 +1,301 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"xquec/internal/btree"
+	"xquec/internal/compress"
+	"xquec/internal/compress/numeric"
+	"xquec/internal/xmlparser"
+)
+
+// LoadOptions configures the loader/compressor.
+type LoadOptions struct {
+	// Plan is the compression configuration (usually produced by the
+	// cost-model search, §3). Nil means: typed codecs where values
+	// round-trip, otherwise one ALM source model per container — the
+	// paper's default when no workload is available.
+	Plan *CompressionPlan
+}
+
+// Load parses an XML document and builds the compressed repository.
+func Load(src []byte, opts LoadOptions) (*Store, error) {
+	s := &Store{
+		nameIdx:      map[string]uint16{},
+		Models:       map[string]GroupModel{},
+		OriginalSize: len(src),
+	}
+	sum := &Summary{}
+	s.Sum = sum
+
+	values := map[int32]*valueList0{}
+	valueListFor := func(sn *SummaryNode) *valueList0 {
+		vl := values[sn.ID]
+		if vl == nil {
+			vl = &valueList0{sumID: sn.ID}
+			values[sn.ID] = vl
+		}
+		return vl
+	}
+
+	type frame struct {
+		id  NodeID
+		sn  *SummaryNode
+		lvl uint16
+	}
+	var stack []frame
+	fanTotal := map[int32]int{}
+
+	newNode := func(tag string, parent NodeID, lvl uint16) NodeID {
+		s.Nodes = append(s.Nodes, NodeRecord{Tag: s.intern(tag), Parent: parent})
+		s.End = append(s.End, NodeID(len(s.Nodes)))
+		s.Level = append(s.Level, lvl)
+		return NodeID(len(s.Nodes))
+	}
+
+	p := xmlparser.NewParser(src)
+	err := p.Parse(func(ev *xmlparser.Event) error {
+		switch ev.Kind {
+		case xmlparser.EventStartElement:
+			var parent frame
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			id := newNode(ev.Name, parent.id, parent.lvl+1)
+			sn := sum.child(parent.sn, ev.Name, true)
+			sn.Extent = append(sn.Extent, id)
+			if parent.id != 0 {
+				s.Nodes[parent.id-1].Kids = append(s.Nodes[parent.id-1].Kids, NodeChild(id))
+				fanTotal[parent.sn.ID]++
+			}
+			for _, a := range ev.Attrs {
+				aid := newNode("@"+a.Name, id, parent.lvl+2)
+				s.Nodes[id-1].Kids = append(s.Nodes[id-1].Kids, NodeChild(aid))
+				asn := sum.child(sn, "@"+a.Name, true)
+				asn.Extent = append(asn.Extent, aid)
+				vl := valueListFor(asn)
+				vl.plains = append(vl.plains, []byte(a.Value))
+				vl.owners = append(vl.owners, aid)
+				// Placeholder ref: Container = summary ID, Index =
+				// document position; fixed up after containers build.
+				s.Nodes[aid-1].Values = append(s.Nodes[aid-1].Values,
+					ValueRef{Container: asn.ID, Index: int32(len(vl.plains) - 1)})
+				s.Nodes[aid-1].Kids = append(s.Nodes[aid-1].Kids, ValueChild(0))
+			}
+			stack = append(stack, frame{id: id, sn: sn, lvl: parent.lvl + 1})
+		case xmlparser.EventEndElement:
+			top := stack[len(stack)-1]
+			s.End[top.id-1] = NodeID(len(s.Nodes))
+			stack = stack[:len(stack)-1]
+		case xmlparser.EventText:
+			top := stack[len(stack)-1]
+			tsn := sum.child(top.sn, "#text", true)
+			vl := valueListFor(tsn)
+			vl.plains = append(vl.plains, []byte(ev.Text))
+			vl.owners = append(vl.owners, top.id)
+			owner := &s.Nodes[top.id-1]
+			owner.Kids = append(owner.Kids, ValueChild(len(owner.Values)))
+			owner.Values = append(owner.Values,
+				ValueRef{Container: tsn.ID, Index: int32(len(vl.plains) - 1)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("storage: document has no elements")
+	}
+
+	if err := s.buildContainers(sum, values, opts.Plan); err != nil {
+		return nil, err
+	}
+
+	// Redundant B+ index over node IDs.
+	keys := make([]uint64, len(s.Nodes))
+	vals := make([]int64, len(s.Nodes))
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		vals[i] = int64(i)
+	}
+	s.Index = btree.BulkLoad(keys, vals)
+
+	// Statistics.
+	for _, sn := range sum.Nodes() {
+		sn.Count = len(sn.Extent)
+		if sn.Count > 0 {
+			sn.AvgFan = float64(fanTotal[sn.ID]) / float64(sn.Count)
+		}
+	}
+	return s, nil
+}
+
+// buildContainers infers container types, resolves the compression plan
+// into source-model groups, trains codecs, builds sorted containers and
+// fixes up the placeholder value refs in the structure tree.
+func (s *Store) buildContainers(sum *Summary, values map[int32]*valueList0, plan *CompressionPlan) error {
+	sumIDs := make([]int32, 0, len(values))
+	for id := range values {
+		sumIDs = append(sumIDs, id)
+	}
+	sort.Slice(sumIDs, func(i, j int) bool { return sumIDs[i] < sumIDs[j] })
+
+	defaultAlg := AlgALM
+	pathGroup := map[string]string{} // path -> group name
+	groupAlg := map[string]string{}
+	if plan != nil {
+		if plan.DefaultAlgorithm != "" {
+			defaultAlg = plan.DefaultAlgorithm
+		}
+		for g, paths := range plan.Groups {
+			for _, p := range paths {
+				pathGroup[p] = g
+			}
+			alg := plan.Algorithms[g]
+			if alg == "" {
+				alg = defaultAlg
+			}
+			groupAlg[g] = alg
+		}
+	}
+
+	type member struct {
+		sumID int32
+		path  string
+	}
+	groups := map[string][]member{}
+	kinds := map[int32]ValueKind{}
+	typedCodec := map[int32]compress.Codec{}
+
+	for _, id := range sumIDs {
+		sn := sum.NodeByID(id)
+		path := sn.Path()
+		vl := values[id]
+		if g, planned := pathGroup[path]; planned {
+			// The plan owns this container: treat as string.
+			groups[g] = append(groups[g], member{id, path})
+			kinds[id] = KindString
+			continue
+		}
+		// Type inference: int, then date, then float; else string.
+		if kind, codec := inferTyped(vl.plains); codec != nil {
+			kinds[id] = kind
+			typedCodec[id] = codec
+			continue
+		}
+		kinds[id] = KindString
+		g := "path:" + path
+		groups[g] = append(groups[g], member{id, path})
+		groupAlg[g] = defaultAlg
+	}
+
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+
+	// Train one codec per group on the union of the members' values.
+	groupCodec := map[string]compress.Codec{}
+	for _, g := range groupNames {
+		alg := groupAlg[g]
+		if alg == "" {
+			alg = defaultAlg
+		}
+		tr, err := trainerFor(alg)
+		if err != nil {
+			return err
+		}
+		var union [][]byte
+		for _, m := range groups[g] {
+			union = append(union, values[m.sumID].plains...)
+		}
+		codec, err := tr.Train(union)
+		if err != nil {
+			return fmt.Errorf("storage: training %s model for group %q: %w", alg, g, err)
+		}
+		groupCodec[g] = codec
+		s.Models[g] = GroupModel{Algorithm: alg, Codec: codec}
+	}
+
+	// Build containers in summary-ID order and remember the fix-up maps.
+	contOf := map[int32]int32{}
+	mappings := map[int32][]int32{}
+	for _, id := range sumIDs {
+		sn := sum.NodeByID(id)
+		vl := values[id]
+		var (
+			codec compress.Codec
+			group string
+		)
+		if c := typedCodec[id]; c != nil {
+			codec = c
+			group = "typed:" + c.Name()
+			if _, ok := s.Models[group]; !ok {
+				s.Models[group] = GroupModel{Algorithm: c.Name(), Codec: c}
+			}
+		} else {
+			group = pathGroupName(pathGroup, sn.Path())
+			codec = groupCodec[group]
+		}
+		cont, mapping, err := buildContainer(sn.Path(), kinds[id], group, codec, vl.plains, vl.owners)
+		if err != nil {
+			return err
+		}
+		idx := int32(len(s.Containers))
+		s.Containers = append(s.Containers, cont)
+		sn.Container = idx
+		contOf[id] = idx
+		mappings[id] = mapping
+	}
+
+	// Fix up the placeholder value refs.
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		for vi := range n.Values {
+			sumID := n.Values[vi].Container
+			n.Values[vi] = ValueRef{
+				Container: contOf[sumID],
+				Index:     mappings[sumID][n.Values[vi].Index],
+			}
+		}
+	}
+	return nil
+}
+
+func pathGroupName(pathGroup map[string]string, path string) string {
+	if g, ok := pathGroup[path]; ok {
+		return g
+	}
+	return "path:" + path
+}
+
+// inferTyped tries the typed codecs in order of specificity and returns
+// the first whose round-trip validation accepts every value.
+func inferTyped(plains [][]byte) (ValueKind, compress.Codec) {
+	if len(plains) == 0 {
+		return KindString, nil
+	}
+	if c, err := (numeric.IntTrainer{}).Train(plains); err == nil {
+		return KindInt, c
+	}
+	if c, err := (numeric.DateTrainer{}).Train(plains); err == nil {
+		return KindDate, c
+	}
+	if c, err := (numeric.DecimalTrainer{}).Train(plains); err == nil {
+		return KindDecimal, c
+	}
+	if c, err := (numeric.FloatTrainer{}).Train(plains); err == nil {
+		return KindFloat, c
+	}
+	return KindString, nil
+}
+
+// valueList0 is the loader-internal accumulation of one container's
+// values in document order.
+type valueList0 struct {
+	sumID  int32
+	plains [][]byte
+	owners []NodeID
+}

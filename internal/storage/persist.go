@@ -1,0 +1,446 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"xquec/internal/btree"
+	"xquec/internal/compress"
+	"xquec/internal/compress/blob"
+)
+
+// magic identifies the repository file format.
+var magic = []byte("XQCR2\n")
+
+// AppendBinary serializes the repository. Everything derivable is
+// rebuilt by LoadBinary instead of being stored: parent pointers,
+// subtree ends, levels, the B+ index, summary extents, per-container
+// equality permutations, and the container a value ref points to (it is
+// determined by the owning node's path). What remains on disk is the
+// dictionary, the source models, the compressed container payloads, the
+// structure tree's shape, and the sorted-record indexes of the values.
+func (s *Store) AppendBinary(dst []byte) []byte {
+	dst = append(dst, magic...)
+	dst = compress.AppendUvarint(dst, uint64(s.OriginalSize))
+
+	// Dictionary.
+	dst = compress.AppendUvarint(dst, uint64(len(s.Names)))
+	for _, n := range s.Names {
+		dst = compress.AppendBytes(dst, []byte(n))
+	}
+
+	// Source models.
+	groupNames := make([]string, 0, len(s.Models))
+	for g := range s.Models {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	dst = compress.AppendUvarint(dst, uint64(len(groupNames)))
+	groupIdx := map[string]int{}
+	for i, g := range groupNames {
+		groupIdx[g] = i
+		gm := s.Models[g]
+		dst = compress.AppendBytes(dst, []byte(g))
+		dst = compress.AppendBytes(dst, []byte(gm.Algorithm))
+		dst = compress.AppendBytes(dst, gm.Codec.AppendModel(nil))
+	}
+
+	// Containers.
+	dst = compress.AppendUvarint(dst, uint64(len(s.Containers)))
+	for _, c := range s.Containers {
+		dst = compress.AppendBytes(dst, []byte(c.Path))
+		dst = append(dst, byte(c.Kind))
+		dst = compress.AppendUvarint(dst, uint64(groupIdx[c.Group]))
+		dst = compress.AppendUvarint(dst, uint64(len(c.recs)))
+		for _, r := range c.recs {
+			dst = compress.AppendBytes(dst, r.Value)
+		}
+	}
+
+	// Structure tree shape: tags and document-order child lists. Child
+	// node IDs are delta-encoded against the node's own pre-order ID;
+	// value children carry only their record index in the (path-implied)
+	// container. The stream is highly repetitive, so — like XMill's
+	// structure stream — it is stored blob-compressed.
+	var tree []byte
+	tree = compress.AppendUvarint(tree, uint64(len(s.Nodes)))
+	for i := range s.Nodes {
+		id := NodeID(i + 1)
+		n := &s.Nodes[i]
+		tree = compress.AppendUvarint(tree, uint64(n.Tag))
+		tree = compress.AppendUvarint(tree, uint64(len(n.Kids)))
+		for _, k := range n.Kids {
+			if k.IsValue() {
+				tree = compress.AppendUvarint(tree, 1)
+				tree = compress.AppendUvarint(tree, uint64(n.Values[k.ValueIndex()].Index))
+			} else {
+				tree = compress.AppendUvarint(tree, uint64(k.Node()-id)<<1)
+			}
+		}
+	}
+	dst = compress.AppendBytes(dst, blob.Compress(nil, tree))
+	// Whole-file checksum: cheap end-to-end corruption detection for the
+	// value payloads, which no structural validation can cover.
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst))
+}
+
+// reader is a cursor over serialized repository bytes.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n, err := compress.ReadUvarint(r.data[r.pos:])
+	if err != nil {
+		return 0, fmt.Errorf("storage: corrupt repository at byte %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	b, n, err := compress.ReadBytes(r.data[r.pos:])
+	if err != nil {
+		return nil, fmt.Errorf("storage: corrupt repository at byte %d: %w", r.pos, err)
+	}
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, fmt.Errorf("storage: truncated repository")
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// LoadBinary reconstructs a repository serialized by AppendBinary.
+func LoadBinary(data []byte) (*Store, error) {
+	if len(data) < len(magic)+4 || !bytes.Equal(data[:len(magic)], magic) {
+		return nil, fmt.Errorf("storage: not a repository file (bad magic)")
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("storage: checksum mismatch (corrupt repository)")
+	}
+	data = body
+	r := &reader{data: data, pos: len(magic)}
+	s := &Store{nameIdx: map[string]uint16{}, Models: map[string]GroupModel{}}
+
+	osz, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	s.OriginalSize = int(osz)
+
+	nNames, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nNames; i++ {
+		b, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		s.intern(string(b))
+	}
+
+	nGroups, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	groupNames := make([]string, nGroups)
+	for i := uint64(0); i < nGroups; i++ {
+		g, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		alg, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		model, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		codec, err := compress.LoadModel(string(alg), model)
+		if err != nil {
+			return nil, fmt.Errorf("storage: group %q: %w", g, err)
+		}
+		groupNames[i] = string(g)
+		s.Models[string(g)] = GroupModel{Algorithm: string(alg), Codec: codec}
+	}
+
+	nConts, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for ci := uint64(0); ci < nConts; ci++ {
+		path, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		gi, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if gi >= uint64(len(groupNames)) {
+			return nil, fmt.Errorf("storage: container %q references group %d", path, gi)
+		}
+		group := groupNames[gi]
+		nRecs, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nRecs > uint64(len(data)) {
+			return nil, fmt.Errorf("storage: container %q record count %d implausible", path, nRecs)
+		}
+		c := &Container{
+			Path:  string(path),
+			Kind:  ValueKind(kind),
+			Group: group,
+			codec: s.Models[group].Codec,
+			recs:  make([]Record, nRecs),
+		}
+		for i := uint64(0); i < nRecs; i++ {
+			v, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			// Owners are not stored: the reconstruction walk re-derives
+			// them from the structure tree's value refs.
+			c.recs[i] = Record{Value: append([]byte(nil), v...)}
+		}
+		// Rebuild the equality permutation for order-agnostic codecs.
+		if !c.codec.Props().OrderPreserving {
+			c.eqOrder = make([]int32, len(c.recs))
+			for i := range c.eqOrder {
+				c.eqOrder[i] = int32(i)
+			}
+			sort.SliceStable(c.eqOrder, func(a, b int) bool {
+				return bytes.Compare(c.recs[c.eqOrder[a]].Value, c.recs[c.eqOrder[b]].Value) < 0
+			})
+		}
+		s.Containers = append(s.Containers, c)
+	}
+
+	// Structure tree shape (blob-compressed section).
+	treeComp, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("storage: %d trailing bytes after repository", len(data)-r.pos)
+	}
+	treeRaw, err := blob.Decompress(nil, treeComp)
+	if err != nil {
+		return nil, fmt.Errorf("storage: corrupt structure section: %w", err)
+	}
+	r = &reader{data: treeRaw}
+	nNodes, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes == 0 || nNodes > uint64(len(treeRaw)) {
+		return nil, fmt.Errorf("storage: implausible node count %d", nNodes)
+	}
+	s.Nodes = make([]NodeRecord, nNodes)
+	s.End = make([]NodeID, nNodes)
+	s.Level = make([]uint16, nNodes)
+	for i := uint64(0); i < nNodes; i++ {
+		id := NodeID(i + 1)
+		tag, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if tag >= uint64(len(s.Names)) {
+			return nil, fmt.Errorf("storage: node %d has unknown tag %d", id, tag)
+		}
+		nKids, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nKids > nNodes+uint64(len(treeRaw)) {
+			return nil, fmt.Errorf("storage: node %d kid count %d implausible", id, nKids)
+		}
+		n := &s.Nodes[i]
+		n.Tag = uint16(tag)
+		for k := uint64(0); k < nKids; k++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v&1 == 1 {
+				recIdx, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				n.Kids = append(n.Kids, ValueChild(len(n.Values)))
+				// Container resolved during the reconstruction walk.
+				n.Values = append(n.Values, ValueRef{Container: -1, Index: int32(recIdx)})
+			} else {
+				kid := id + NodeID(v>>1)
+				if uint64(kid) > nNodes || kid <= id {
+					return nil, fmt.Errorf("storage: node %d has bad child %d", id, kid)
+				}
+				n.Kids = append(n.Kids, NodeChild(kid))
+			}
+		}
+	}
+	if r.pos != len(treeRaw) {
+		return nil, fmt.Errorf("storage: %d trailing bytes in structure section", len(treeRaw)-r.pos)
+	}
+
+	if err := s.reconstructDerived(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// reconstructDerived rebuilds parents, subtree ends, levels, the
+// structure summary with extents, the value-ref container fields, and
+// the B+ index — everything AppendBinary leaves out.
+func (s *Store) reconstructDerived() error {
+	sum := &Summary{}
+	s.Sum = sum
+	contByPath := map[string]int32{}
+	for i, c := range s.Containers {
+		contByPath[c.Path] = int32(i)
+	}
+	fanTotal := map[int32]int{}
+
+	resolveValues := func(id NodeID, sn *SummaryNode) error {
+		n := &s.Nodes[id-1]
+		if len(n.Values) == 0 {
+			return nil
+		}
+		var vsn *SummaryNode
+		if isAttrName(s.Names[n.Tag]) {
+			vsn = sn
+		} else {
+			vsn = sum.child(sn, "#text", true)
+		}
+		if vsn.Container < 0 {
+			ci, ok := contByPath[vsn.Path()]
+			if !ok {
+				return fmt.Errorf("storage: no container for path %s", vsn.Path())
+			}
+			vsn.Container = ci
+		}
+		cont := s.Containers[vsn.Container]
+		for vi := range n.Values {
+			n.Values[vi].Container = vsn.Container
+			idx := int(n.Values[vi].Index)
+			if idx >= cont.Len() {
+				return fmt.Errorf("storage: node %d value index %d out of range for %s",
+					id, n.Values[vi].Index, cont.Path)
+			}
+			if owner := cont.recs[idx].Owner; owner != 0 && owner != id {
+				return fmt.Errorf("storage: record %d of %s claimed by nodes %d and %d",
+					idx, cont.Path, owner, id)
+			}
+			cont.recs[idx].Owner = id
+		}
+		return nil
+	}
+
+	type frame struct {
+		id   NodeID
+		kidI int
+		sn   *SummaryNode
+	}
+	root := sum.child(nil, s.Names[s.Nodes[0].Tag], true)
+	root.Extent = append(root.Extent, 1)
+	s.Nodes[0].Parent = 0
+	s.Level[0] = 1
+	if err := resolveValues(1, root); err != nil {
+		return err
+	}
+	stack := []frame{{id: 1, sn: root}}
+	visited := NodeID(1)
+
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		n := &s.Nodes[f.id-1]
+		advanced := false
+		for f.kidI < len(n.Kids) {
+			k := n.Kids[f.kidI]
+			f.kidI++
+			if k.IsValue() {
+				continue
+			}
+			kid := k.Node()
+			if kid != visited+1 {
+				return fmt.Errorf("storage: node %d is not in pre-order (expected %d)", kid, visited+1)
+			}
+			visited = kid
+			s.Nodes[kid-1].Parent = f.id
+			s.Level[kid-1] = s.Level[f.id-1] + 1
+			tag := s.Names[s.Nodes[kid-1].Tag]
+			ksn := sum.child(f.sn, tag, true)
+			ksn.Extent = append(ksn.Extent, kid)
+			if !isAttrName(tag) {
+				fanTotal[f.sn.ID]++
+			}
+			if err := resolveValues(kid, ksn); err != nil {
+				return err
+			}
+			stack = append(stack, frame{id: kid, sn: ksn})
+			advanced = true
+			break
+		}
+		if !advanced {
+			s.End[f.id-1] = visited
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if int(visited) != len(s.Nodes) {
+		return fmt.Errorf("storage: %d of %d nodes unreachable from the root", len(s.Nodes)-int(visited), len(s.Nodes))
+	}
+
+	for _, sn := range sum.Nodes() {
+		sn.Count = len(sn.Extent)
+		if sn.Count > 0 {
+			sn.AvgFan = float64(fanTotal[sn.ID]) / float64(sn.Count)
+		}
+	}
+
+	keys := make([]uint64, len(s.Nodes))
+	vals := make([]int64, len(s.Nodes))
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		vals[i] = int64(i)
+	}
+	s.Index = btree.BulkLoad(keys, vals)
+	return nil
+}
+
+func isAttrName(tag string) bool { return len(tag) > 0 && tag[0] == '@' }
+
+// SaveFile writes the repository to a file.
+func (s *Store) SaveFile(path string) error {
+	return os.WriteFile(path, s.AppendBinary(nil), 0o644)
+}
+
+// OpenFile loads a repository from a file.
+func OpenFile(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadBinary(data)
+}

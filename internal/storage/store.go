@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"xquec/internal/btree"
+	"xquec/internal/compress"
+)
+
+// Store is a loaded compressed repository: dictionary, structure tree,
+// B+ index, containers, structure summary and source models.
+type Store struct {
+	// Names is the node-name dictionary: tag code -> name. Attribute
+	// names are stored with an '@' prefix; "#text" is the value tag.
+	Names   []string
+	nameIdx map[string]uint16
+
+	// Nodes holds the structure tree; Nodes[id-1] is the record of id.
+	Nodes []NodeRecord
+	// End[id-1] is the largest ID in the subtree of id, Level[id-1] its
+	// depth — together with the pre-order ID these are the "3-valued
+	// IDs" (pre/post/level) the paper lists as future work; they enable
+	// O(1) ancestorship tests and structural joins.
+	End   []NodeID
+	Level []uint16
+
+	Containers []*Container
+	Sum        *Summary
+
+	// Index is the redundant B+ tree over node IDs (§2.2). With dense
+	// pre-order IDs it is not strictly necessary, but it is part of the
+	// paper's storage model and of the footprint ablation.
+	Index *btree.Tree
+
+	// Models maps source-model group name -> (algorithm, codec).
+	Models map[string]GroupModel
+
+	// OriginalSize is the byte size of the loaded XML document.
+	OriginalSize int
+}
+
+// GroupModel is one shared source model.
+type GroupModel struct {
+	Algorithm string
+	Codec     compress.Codec
+}
+
+// Code returns the dictionary code for a name.
+func (s *Store) Code(name string) (uint16, bool) {
+	c, ok := s.nameIdx[name]
+	return c, ok
+}
+
+// Name returns the name for a dictionary code.
+func (s *Store) Name(code uint16) string { return s.Names[code] }
+
+// intern returns the code for name, adding it to the dictionary.
+func (s *Store) intern(name string) uint16 {
+	if c, ok := s.nameIdx[name]; ok {
+		return c
+	}
+	c := uint16(len(s.Names))
+	s.Names = append(s.Names, name)
+	s.nameIdx[name] = c
+	return c
+}
+
+// Node returns the record of id. IDs are 1-based.
+func (s *Store) Node(id NodeID) *NodeRecord {
+	return &s.Nodes[id-1]
+}
+
+// NumNodes returns the number of element+attribute nodes.
+func (s *Store) NumNodes() int { return len(s.Nodes) }
+
+// Parent returns the parent of id (0 for the root).
+func (s *Store) Parent(id NodeID) NodeID { return s.Nodes[id-1].Parent }
+
+// SubtreeEnd returns the largest ID in the subtree of id.
+func (s *Store) SubtreeEnd(id NodeID) NodeID { return s.End[id-1] }
+
+// IsAncestor reports whether a is an ancestor of (or equal to) d, using
+// the pre/post interval test.
+func (s *Store) IsAncestor(a, d NodeID) bool {
+	return a <= d && d <= s.End[a-1]
+}
+
+// Container returns the i-th container.
+func (s *Store) Container(i int32) *Container { return s.Containers[i] }
+
+// ContainerByPath returns the container storing the values of a path
+// such as /site/people/person/name/#text.
+func (s *Store) ContainerByPath(path string) (*Container, bool) {
+	for _, c := range s.Containers {
+		if c.Path == path {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// TagOf returns the tag name of a node.
+func (s *Store) TagOf(id NodeID) string { return s.Names[s.Nodes[id-1].Tag] }
+
+// IsAttr reports whether the node is an attribute node.
+func (s *Store) IsAttr(id NodeID) bool { return strings.HasPrefix(s.TagOf(id), "@") }
+
+// Text appends the decompressed concatenation of the node's immediate
+// text values (for attribute nodes, the attribute value).
+func (s *Store) Text(dst []byte, id NodeID) ([]byte, error) {
+	n := &s.Nodes[id-1]
+	var err error
+	for _, vr := range n.Values {
+		dst, err = s.Containers[vr.Container].Decode(dst, int(vr.Index))
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// DeepText appends the decompressed concatenation of every text value in
+// the subtree of id (document order) — the string value of an element.
+func (s *Store) DeepText(dst []byte, id NodeID) ([]byte, error) {
+	n := &s.Nodes[id-1]
+	var err error
+	for _, k := range n.Kids {
+		if k.IsValue() {
+			vr := n.Values[k.ValueIndex()]
+			dst, err = s.Containers[vr.Container].Decode(dst, int(vr.Index))
+			if err != nil {
+				return dst, err
+			}
+			continue
+		}
+		if s.IsAttr(k.Node()) {
+			continue
+		}
+		dst, err = s.DeepText(dst, k.Node())
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// Serialize appends the XML reconstruction of the subtree rooted at id.
+// This is the XMLSerialize operator's core: the only place where whole
+// subtrees are decompressed.
+func (s *Store) Serialize(dst []byte, id NodeID) ([]byte, error) {
+	n := &s.Nodes[id-1]
+	tag := s.Names[n.Tag]
+	if strings.HasPrefix(tag, "@") {
+		// Attribute serialized standalone: name="value".
+		dst = append(dst, tag[1:]...)
+		dst = append(dst, '=', '"')
+		v, err := s.Text(nil, id)
+		if err != nil {
+			return dst, err
+		}
+		dst = appendEscapedAttr(dst, v)
+		return append(dst, '"'), nil
+	}
+	if tag == "#text" {
+		v, err := s.Text(nil, id)
+		if err != nil {
+			return dst, err
+		}
+		return appendEscapedText(dst, v), nil
+	}
+	dst = append(dst, '<')
+	dst = append(dst, tag...)
+	// Attributes first.
+	for _, k := range n.Kids {
+		if k.IsValue() {
+			continue
+		}
+		kid := k.Node()
+		if !s.IsAttr(kid) {
+			continue
+		}
+		dst = append(dst, ' ')
+		var err error
+		dst, err = s.Serialize(dst, kid)
+		if err != nil {
+			return dst, err
+		}
+	}
+	hasContent := false
+	for _, k := range n.Kids {
+		if k.IsValue() || !s.IsAttr(k.Node()) {
+			hasContent = true
+			break
+		}
+	}
+	if !hasContent {
+		return append(dst, '/', '>'), nil
+	}
+	dst = append(dst, '>')
+	var err error
+	for _, k := range n.Kids {
+		if k.IsValue() {
+			vr := n.Values[k.ValueIndex()]
+			var v []byte
+			v, err = s.Containers[vr.Container].Decode(nil, int(vr.Index))
+			if err != nil {
+				return dst, err
+			}
+			dst = appendEscapedText(dst, v)
+			continue
+		}
+		if s.IsAttr(k.Node()) {
+			continue
+		}
+		dst, err = s.Serialize(dst, k.Node())
+		if err != nil {
+			return dst, err
+		}
+	}
+	dst = append(dst, '<', '/')
+	dst = append(dst, tag...)
+	return append(dst, '>'), nil
+}
+
+func appendEscapedText(dst, v []byte) []byte {
+	for _, b := range v {
+		switch b {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		default:
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+func appendEscapedAttr(dst, v []byte) []byte {
+	for _, b := range v {
+		switch b {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		default:
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// Validate checks the structural invariants of the repository; tests and
+// the loader's failure-injection suite rely on it.
+func (s *Store) Validate() error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("storage: empty structure tree")
+	}
+	for i := range s.Nodes {
+		id := NodeID(i + 1)
+		n := &s.Nodes[i]
+		if int(n.Tag) >= len(s.Names) {
+			return fmt.Errorf("storage: node %d has out-of-range tag %d", id, n.Tag)
+		}
+		if n.Parent >= id {
+			return fmt.Errorf("storage: node %d has non-preceding parent %d", id, n.Parent)
+		}
+		if s.End[i] < id || int(s.End[i]) > len(s.Nodes) {
+			return fmt.Errorf("storage: node %d has bad subtree end %d", id, s.End[i])
+		}
+		for _, k := range n.Kids {
+			if k.IsValue() {
+				if k.ValueIndex() >= len(n.Values) {
+					return fmt.Errorf("storage: node %d has dangling value ref", id)
+				}
+				continue
+			}
+			kid := k.Node()
+			if kid <= id || int(kid) > len(s.Nodes) {
+				return fmt.Errorf("storage: node %d has bad child %d", id, kid)
+			}
+			if s.Nodes[kid-1].Parent != id {
+				return fmt.Errorf("storage: child %d of %d has parent %d", kid, id, s.Nodes[kid-1].Parent)
+			}
+		}
+		for _, vr := range n.Values {
+			if int(vr.Container) >= len(s.Containers) {
+				return fmt.Errorf("storage: node %d references container %d", id, vr.Container)
+			}
+			c := s.Containers[vr.Container]
+			if int(vr.Index) >= c.Len() {
+				return fmt.Errorf("storage: node %d references record %d of %s", id, vr.Index, c.Path)
+			}
+			if c.Record(int(vr.Index)).Owner != id {
+				return fmt.Errorf("storage: value owner mismatch for node %d", id)
+			}
+		}
+	}
+	for _, sn := range s.Sum.Nodes() {
+		for j := 1; j < len(sn.Extent); j++ {
+			if sn.Extent[j-1] >= sn.Extent[j] {
+				return fmt.Errorf("storage: summary %s extent not increasing", sn.Path())
+			}
+		}
+		if sn.Container >= 0 && int(sn.Container) >= len(s.Containers) {
+			return fmt.Errorf("storage: summary %s references container %d", sn.Path(), sn.Container)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"xquec/internal/xmarkq"
+)
+
+func find(w *Workload, kind PredKind, left, right string) bool {
+	for _, p := range w.Predicates {
+		if p.Kind == kind && (p.Left == left && p.Right == right ||
+			p.Left == right && p.Right == left) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFromQueriesLiteralComparisons(t *testing.T) {
+	w, err := FromQueries(`
+		FOR $p IN document("d")/site/people/person
+		WHERE $p/age >= 30 AND $p/name = "Alice"
+		RETURN $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !find(w, Ineq, "/site/people/person/age/#text", "") {
+		t.Fatalf("missing age ineq: %v", w.Predicates)
+	}
+	if !find(w, Eq, "/site/people/person/name/#text", "") {
+		t.Fatalf("missing name eq: %v", w.Predicates)
+	}
+}
+
+func TestFromQueriesJoins(t *testing.T) {
+	w, err := FromQueries(`
+		FOR $p IN document("d")/site/people/person
+		LET $a := FOR $t IN document("d")/site/closed_auctions/closed_auction
+		          WHERE $t/buyer/@person = $p/@id
+		          RETURN $t
+		RETURN count($a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !find(w, Eq, "/site/closed_auctions/closed_auction/buyer/@person", "/site/people/person/@id") {
+		t.Fatalf("missing join: %v", w.Predicates)
+	}
+}
+
+func TestFromQueriesStepPredicates(t *testing.T) {
+	w, err := FromQueries(`/site/people/person[@id = "person0"]/name/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !find(w, Eq, "/site/people/person/@id", "") {
+		t.Fatalf("missing step predicate: %v", w.Predicates)
+	}
+}
+
+func TestFromQueriesStartsWith(t *testing.T) {
+	w, err := FromQueries(`
+		FOR $p IN /site/people/person
+		WHERE starts-with($p/name, "Al") RETURN $p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !find(w, Wild, "/site/people/person/name/#text", "") {
+		t.Fatalf("missing wild: %v", w.Predicates)
+	}
+}
+
+func TestFromQueriesNumberWrapper(t *testing.T) {
+	w, err := FromQueries(`
+		FOR $a IN /site/open_auctions/open_auction
+		WHERE number($a/current/text()) > 100 RETURN $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !find(w, Ineq, "/site/open_auctions/open_auction/current/#text", "") {
+		t.Fatalf("missing number()-wrapped ineq: %v", w.Predicates)
+	}
+}
+
+func TestFromQueriesUnresolvableSkipped(t *testing.T) {
+	w, err := FromQueries(`
+		FOR $i IN document("d")/site//item
+		WHERE $i/payment = "Creditcard" RETURN $i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// //item is not statically a single path: skipped, not an error.
+	for _, p := range w.Predicates {
+		if p.Left != "" && p.Left[0] != '/' {
+			t.Fatalf("bad path %q", p.Left)
+		}
+	}
+}
+
+func TestFromQueriesParseError(t *testing.T) {
+	if _, err := FromQueries(`for $x in`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestFromQueriesXMarkBattery(t *testing.T) {
+	var texts []string
+	for _, q := range xmarkq.Queries() {
+		texts = append(texts, q.Text)
+	}
+	w, err := FromQueries(texts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Predicates) == 0 {
+		t.Fatal("no predicates extracted from the benchmark queries")
+	}
+	// The Q8 join must be present.
+	if !find(w, Eq, "/site/closed_auctions/closed_auction/buyer/@person", "/site/people/person/@id") {
+		t.Fatalf("missing Q8 join: %v", w.Predicates)
+	}
+	// The Q5 price inequality must be present.
+	if !find(w, Ineq, "/site/closed_auctions/closed_auction/price/#text", "") {
+		t.Fatalf("missing Q5 ineq: %v", w.Predicates)
+	}
+}

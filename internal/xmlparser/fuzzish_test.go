@@ -1,0 +1,105 @@
+package xmlparser
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMutatedInputNeverPanics feeds the parser systematically damaged
+// documents: it must return a syntax error or parse successfully, never
+// panic or loop.
+func TestMutatedInputNeverPanics(t *testing.T) {
+	base := []byte(`<?xml version="1.0"?>
+<site><people>
+  <person id="p0"><name>Alice &amp; co</name><age>30</age></person>
+  <!-- comment --><![CDATA[raw < data]]>
+  <person id="p1"><name>Bob</name></person>
+</people></site>`)
+	rng := rand.New(rand.NewSource(42))
+	parse := func(src []byte, what string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %s: %v\ninput: %q", what, r, src)
+			}
+		}()
+		p := NewParser(src)
+		_ = p.Parse(func(*Event) error { return nil })
+		_, _ = BuildDOM(src)
+		_, _ = CollectStats(src)
+	}
+	// Byte flips.
+	for i := 0; i < 500; i++ {
+		cp := append([]byte(nil), base...)
+		cp[rng.Intn(len(cp))] ^= byte(1 + rng.Intn(255))
+		parse(cp, "byte flip")
+	}
+	// Truncations.
+	for i := 0; i < 200; i++ {
+		parse(base[:rng.Intn(len(base))], "truncation")
+	}
+	// Deletions.
+	for i := 0; i < 200; i++ {
+		cp := append([]byte(nil), base...)
+		pos := rng.Intn(len(cp))
+		parse(append(cp[:pos], cp[pos+1:]...), "deletion")
+	}
+	// Random markup-ish garbage.
+	alphabet := []byte(`<>/="' ab&#;![]-?`)
+	for i := 0; i < 300; i++ {
+		garbage := make([]byte, rng.Intn(200))
+		for j := range garbage {
+			garbage[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		parse(garbage, "garbage")
+	}
+}
+
+// TestEntityEdgeCases pins the entity decoder's behaviour.
+func TestEntityEdgeCases(t *testing.T) {
+	good := map[string]string{
+		`<a>&#65;</a>`:      "A",
+		`<a>&#x41;</a>`:     "A",
+		`<a>&#x1F600;</a>`:  "\U0001F600",
+		`<a>&amp;&amp;</a>`: "&&",
+	}
+	for src, want := range good {
+		doc, err := BuildDOM([]byte(src))
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := doc.Root.TextContent(); got != want {
+			t.Fatalf("%s -> %q, want %q", src, got, want)
+		}
+	}
+	bad := []string{
+		`<a>&;</a>`,
+		`<a>&#;</a>`,
+		`<a>&#xGG;</a>`,
+		`<a>&toolongentityname;</a>`,
+		`<a>&unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := BuildDOM([]byte(src)); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+}
+
+// TestLargeTokens exercises long names, attribute values and text runs.
+func TestLargeTokens(t *testing.T) {
+	long := make([]byte, 1<<16)
+	for i := range long {
+		long[i] = 'x'
+	}
+	src := []byte(`<a` + string(long[:100]) + ` attr="` + string(long) + `">` + string(long) + `</a` + string(long[:100]) + `>`)
+	doc, err := BuildDOM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Root.Attrs[0].Text) != len(long) {
+		t.Fatal("attribute value truncated")
+	}
+	if len(doc.Root.TextContent()) != len(long) {
+		t.Fatal("text truncated")
+	}
+}

@@ -1,0 +1,547 @@
+// Package xmlparser implements the XML substrate every system in this
+// repository parses documents with: a from-scratch, allocation-conscious
+// event (SAX-style) parser and a small DOM built on top of it. It covers
+// the XML subset the paper's corpora use — elements, attributes,
+// character data, CDATA, comments, processing instructions, the standard
+// five entities and numeric character references. DTDs are skipped, not
+// expanded.
+package xmlparser
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EventKind discriminates parser events.
+type EventKind int
+
+// Event kinds issued by the parser.
+const (
+	EventStartElement EventKind = iota
+	EventEndElement
+	EventText
+	EventComment
+	EventProcInst
+)
+
+// Attr is a decoded attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Event is one parsing event. Name is set for start/end elements and
+// processing instructions; Text for text, comments, and PI payloads;
+// Attrs only for start elements.
+type Event struct {
+	Kind  EventKind
+	Name  string
+	Text  string
+	Attrs []Attr
+}
+
+// Handler receives parser events. Returning an error aborts the parse.
+type Handler func(ev *Event) error
+
+// SyntaxError describes a malformed document.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml: syntax error at byte %d: %s", e.Offset, e.Msg)
+}
+
+// Parser is a single-use streaming parser over an in-memory document.
+type Parser struct {
+	src   []byte
+	pos   int
+	stack []string
+	ev    Event // reused event
+	// WhitespaceText controls whether whitespace-only text nodes are
+	// reported (default: dropped, matching how the paper's systems
+	// treat ignorable whitespace).
+	WhitespaceText bool
+}
+
+// NewParser returns a parser over src.
+func NewParser(src []byte) *Parser {
+	return &Parser{src: src}
+}
+
+// Parse runs the document through the handler.
+func (p *Parser) Parse(h Handler) error {
+	if err := p.prolog(); err != nil {
+		return err
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return p.errf("expected root element")
+	}
+	if err := p.element(h); err != nil {
+		return err
+	}
+	p.skipMisc()
+	if p.pos != len(p.src) {
+		return p.errf("trailing content after root element")
+	}
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) skipSpace() {
+	for p.pos < len(p.src) && isSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+// prolog consumes the XML declaration, doctype, comments and PIs before
+// the root element.
+func (p *Parser) prolog() error {
+	for {
+		p.skipSpace()
+		if p.pos+1 >= len(p.src) || p.src[p.pos] != '<' {
+			return nil
+		}
+		switch p.src[p.pos+1] {
+		case '?':
+			if err := p.skipProcInst(); err != nil {
+				return err
+			}
+		case '!':
+			if strings.HasPrefix(string(p.src[p.pos:min(p.pos+4, len(p.src))]), "<!--") {
+				if err := p.skipComment(); err != nil {
+					return err
+				}
+			} else if strings.HasPrefix(string(p.src[p.pos:min(p.pos+9, len(p.src))]), "<!DOCTYPE") {
+				if err := p.skipDoctype(); err != nil {
+					return err
+				}
+			} else {
+				return p.errf("unexpected markup in prolog")
+			}
+		default:
+			return nil // root element
+		}
+	}
+}
+
+// skipMisc consumes trailing comments/PIs/whitespace after the root.
+func (p *Parser) skipMisc() {
+	for {
+		p.skipSpace()
+		if p.pos+3 < len(p.src) && string(p.src[p.pos:p.pos+4]) == "<!--" {
+			if p.skipComment() != nil {
+				return
+			}
+			continue
+		}
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '<' && p.src[p.pos+1] == '?' {
+			if p.skipProcInst() != nil {
+				return
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (p *Parser) skipProcInst() error {
+	end := bytes.Index(p.src[p.pos:], []byte("?>"))
+	if end < 0 {
+		return p.errf("unterminated processing instruction")
+	}
+	p.pos += end + 2
+	return nil
+}
+
+func (p *Parser) skipComment() error {
+	end := bytes.Index(p.src[p.pos+4:], []byte("-->"))
+	if end < 0 {
+		return p.errf("unterminated comment")
+	}
+	p.pos += 4 + end + 3
+	return nil
+}
+
+func (p *Parser) skipDoctype() error {
+	depth := 0
+	for i := p.pos; i < len(p.src); i++ {
+		switch p.src[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				p.pos = i + 1
+				return nil
+			}
+		}
+	}
+	return p.errf("unterminated DOCTYPE")
+}
+
+// element parses one element (recursively) starting at '<'.
+func (p *Parser) element(h Handler) error {
+	start := p.pos
+	p.pos++ // consume '<'
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	p.ev = Event{Kind: EventStartElement, Name: name}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return p.errf("unterminated start tag %q (opened at %d)", name, start)
+		}
+		switch p.src[p.pos] {
+		case '>':
+			p.pos++
+			if err := h(&p.ev); err != nil {
+				return err
+			}
+			p.stack = append(p.stack, name)
+			if err := p.content(h); err != nil {
+				return err
+			}
+			return p.endTag(h, name)
+		case '/':
+			if p.pos+1 >= len(p.src) || p.src[p.pos+1] != '>' {
+				return p.errf("malformed empty-element tag")
+			}
+			p.pos += 2
+			if err := h(&p.ev); err != nil {
+				return err
+			}
+			end := Event{Kind: EventEndElement, Name: name}
+			return h(&end)
+		default:
+			aname, err := p.name()
+			if err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != '=' {
+				return p.errf("attribute %q missing '='", aname)
+			}
+			p.pos++
+			p.skipSpace()
+			aval, err := p.attrValue()
+			if err != nil {
+				return err
+			}
+			p.ev.Attrs = append(p.ev.Attrs, Attr{Name: aname, Value: aval})
+		}
+	}
+}
+
+// content parses element content until the matching end tag is seen
+// (left unconsumed).
+func (p *Parser) content(h Handler) error {
+	textStart := p.pos
+	var textBuf strings.Builder
+	flushText := func() error {
+		raw := string(p.src[textStart:p.pos])
+		var text string
+		if textBuf.Len() > 0 {
+			textBuf.WriteString(raw)
+			text = textBuf.String()
+			textBuf.Reset()
+		} else {
+			text = raw
+		}
+		if text == "" {
+			return nil
+		}
+		if !p.WhitespaceText && isAllSpace(text) {
+			return nil
+		}
+		ev := Event{Kind: EventText, Text: text}
+		return h(&ev)
+	}
+	for p.pos < len(p.src) {
+		b := p.src[p.pos]
+		switch {
+		case b == '<':
+			if p.pos+1 >= len(p.src) {
+				return p.errf("truncated markup")
+			}
+			switch p.src[p.pos+1] {
+			case '/':
+				return flushText()
+			case '!':
+				if p.pos+3 < len(p.src) && string(p.src[p.pos:p.pos+4]) == "<!--" {
+					if err := flushText(); err != nil {
+						return err
+					}
+					cstart := p.pos + 4
+					if err := p.skipComment(); err != nil {
+						return err
+					}
+					ev := Event{Kind: EventComment, Text: string(p.src[cstart : p.pos-3])}
+					if err := h(&ev); err != nil {
+						return err
+					}
+					textStart = p.pos
+					continue
+				}
+				if p.pos+8 < len(p.src) && string(p.src[p.pos:p.pos+9]) == "<![CDATA[" {
+					// CDATA joins the surrounding text node.
+					textBuf.WriteString(string(p.src[textStart:p.pos]))
+					end := bytes.Index(p.src[p.pos+9:], []byte("]]>"))
+					if end < 0 {
+						return p.errf("unterminated CDATA section")
+					}
+					textBuf.WriteString(string(p.src[p.pos+9 : p.pos+9+end]))
+					p.pos += 9 + end + 3
+					textStart = p.pos
+					continue
+				}
+				return p.errf("unexpected markup")
+			case '?':
+				if err := flushText(); err != nil {
+					return err
+				}
+				pstart := p.pos + 2
+				if err := p.skipProcInst(); err != nil {
+					return err
+				}
+				body := string(p.src[pstart : p.pos-2])
+				name := body
+				if i := strings.IndexAny(body, " \t\r\n"); i >= 0 {
+					name = body[:i]
+					body = strings.TrimLeft(body[i:], " \t\r\n")
+				} else {
+					body = ""
+				}
+				ev := Event{Kind: EventProcInst, Name: name, Text: body}
+				if err := h(&ev); err != nil {
+					return err
+				}
+				textStart = p.pos
+				continue
+			default:
+				if err := flushText(); err != nil {
+					return err
+				}
+				if err := p.element(h); err != nil {
+					return err
+				}
+				textStart = p.pos
+				continue
+			}
+		case b == '&':
+			textBuf.WriteString(string(p.src[textStart:p.pos]))
+			r, err := p.entity()
+			if err != nil {
+				return err
+			}
+			textBuf.WriteString(r)
+			textStart = p.pos
+			continue
+		default:
+			p.pos++
+		}
+	}
+	return p.errf("unexpected end of document inside element %q", p.topName())
+}
+
+func (p *Parser) topName() string {
+	if len(p.stack) == 0 {
+		return ""
+	}
+	return p.stack[len(p.stack)-1]
+}
+
+func (p *Parser) endTag(h Handler, name string) error {
+	if p.pos+1 >= len(p.src) || p.src[p.pos] != '<' || p.src[p.pos+1] != '/' {
+		return p.errf("expected end tag for %q", name)
+	}
+	p.pos += 2
+	got, err := p.name()
+	if err != nil {
+		return err
+	}
+	if got != name {
+		return p.errf("mismatched end tag: got </%s>, want </%s>", got, name)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+		return p.errf("malformed end tag </%s>", got)
+	}
+	p.pos++
+	p.stack = p.stack[:len(p.stack)-1]
+	ev := Event{Kind: EventEndElement, Name: name}
+	return h(&ev)
+}
+
+// name parses an XML name.
+func (p *Parser) name() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos], p.pos == start) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected name")
+	}
+	return string(p.src[start:p.pos]), nil
+}
+
+func isNameByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case b >= 0x80: // permissive: any non-ASCII byte may appear in names
+		return true
+	case first:
+		return false
+	case b >= '0' && b <= '9', b == '-', b == '.':
+		return true
+	}
+	return false
+}
+
+// attrValue parses a quoted attribute value with entity expansion.
+func (p *Parser) attrValue() (string, error) {
+	if p.pos >= len(p.src) {
+		return "", p.errf("expected attribute value")
+	}
+	quote := p.src[p.pos]
+	if quote != '"' && quote != '\'' {
+		return "", p.errf("attribute value must be quoted")
+	}
+	p.pos++
+	var sb strings.Builder
+	start := p.pos
+	for p.pos < len(p.src) {
+		b := p.src[p.pos]
+		switch b {
+		case quote:
+			raw := string(p.src[start:p.pos])
+			p.pos++
+			if sb.Len() == 0 {
+				return raw, nil
+			}
+			sb.WriteString(raw)
+			return sb.String(), nil
+		case '&':
+			sb.WriteString(string(p.src[start:p.pos]))
+			r, err := p.entity()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(r)
+			start = p.pos
+		case '<':
+			return "", p.errf("'<' in attribute value")
+		default:
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated attribute value")
+}
+
+// entity decodes an entity reference starting at '&'.
+func (p *Parser) entity() (string, error) {
+	end := -1
+	limit := p.pos + 12
+	if limit > len(p.src) {
+		limit = len(p.src)
+	}
+	for i := p.pos + 1; i < limit; i++ {
+		if p.src[i] == ';' {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return "", p.errf("unterminated entity reference")
+	}
+	body := string(p.src[p.pos+1 : end])
+	p.pos = end + 1
+	switch body {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	if strings.HasPrefix(body, "#") {
+		num := body[1:]
+		base := 10
+		if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+			num, base = num[1:], 16
+		}
+		n, err := strconv.ParseUint(num, base, 32)
+		if err != nil {
+			return "", p.errf("bad character reference &%s;", body)
+		}
+		return string(rune(n)), nil
+	}
+	return "", p.errf("unknown entity &%s;", body)
+}
+
+func isAllSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isSpace(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// EscapeText appends the XML-escaped form of s (for text content).
+func EscapeText(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// EscapeAttr appends the XML-escaped form of s (for attribute values,
+// double-quoted).
+func EscapeAttr(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}

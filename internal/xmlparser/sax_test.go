@@ -1,0 +1,228 @@
+package xmlparser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func collect(t *testing.T, src string) []Event {
+	t.Helper()
+	var evs []Event
+	p := NewParser([]byte(src))
+	err := p.Parse(func(ev *Event) error {
+		cp := *ev
+		cp.Attrs = append([]Attr(nil), ev.Attrs...)
+		evs = append(evs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return evs
+}
+
+func TestSimpleDocument(t *testing.T) {
+	evs := collect(t, `<a><b x="1">hi</b><c/></a>`)
+	want := []Event{
+		{Kind: EventStartElement, Name: "a"},
+		{Kind: EventStartElement, Name: "b", Attrs: []Attr{{"x", "1"}}},
+		{Kind: EventText, Text: "hi"},
+		{Kind: EventEndElement, Name: "b"},
+		{Kind: EventStartElement, Name: "c"},
+		{Kind: EventEndElement, Name: "c"},
+		{Kind: EventEndElement, Name: "a"},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i := range want {
+		if evs[i].Kind != want[i].Kind || evs[i].Name != want[i].Name || evs[i].Text != want[i].Text ||
+			!reflect.DeepEqual(append([]Attr{}, evs[i].Attrs...), append([]Attr{}, want[i].Attrs...)) {
+			t.Fatalf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestPrologAndMisc(t *testing.T) {
+	src := `<?xml version="1.0" encoding="UTF-8"?>
+<!-- header -->
+<!DOCTYPE site [ <!ELEMENT site ANY> ]>
+<site/>
+<!-- trailer -->`
+	evs := collect(t, src)
+	if len(evs) != 2 || evs[0].Name != "site" {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+}
+
+func TestEntities(t *testing.T) {
+	evs := collect(t, `<a b="&lt;&amp;&quot;&#65;">x &gt; y &#x41;&apos;</a>`)
+	if got, want := evs[0].Attrs[0].Value, `<&"A`; got != want {
+		t.Fatalf("attr = %q, want %q", got, want)
+	}
+	if got, want := evs[1].Text, "x > y A'"; got != want {
+		t.Fatalf("text = %q, want %q", got, want)
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	evs := collect(t, `<a>before<![CDATA[<raw> & stuff]]>after</a>`)
+	if len(evs) != 3 {
+		t.Fatalf("events: %+v", evs)
+	}
+	if evs[1].Text != "before<raw> & stuffafter" {
+		t.Fatalf("CDATA text = %q", evs[1].Text)
+	}
+}
+
+func TestCommentsAndPIsInContent(t *testing.T) {
+	evs := collect(t, `<a>x<!-- note --><?target data?>y</a>`)
+	kinds := []EventKind{EventStartElement, EventText, EventComment, EventProcInst, EventText, EventEndElement}
+	if len(evs) != len(kinds) {
+		t.Fatalf("got %d events: %+v", len(evs), evs)
+	}
+	for i, k := range kinds {
+		if evs[i].Kind != k {
+			t.Fatalf("event %d kind = %d, want %d", i, evs[i].Kind, k)
+		}
+	}
+	if evs[2].Text != " note " {
+		t.Fatalf("comment = %q", evs[2].Text)
+	}
+	if evs[3].Name != "target" || evs[3].Text != "data" {
+		t.Fatalf("pi = %+v", evs[3])
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	src := "<a>\n  <b>v</b>\n</a>"
+	evs := collect(t, src)
+	for _, ev := range evs {
+		if ev.Kind == EventText && strings.TrimSpace(ev.Text) == "" {
+			t.Fatal("whitespace-only text reported by default")
+		}
+	}
+	var texts int
+	p := NewParser([]byte(src))
+	p.WhitespaceText = true
+	if err := p.Parse(func(ev *Event) error {
+		if ev.Kind == EventText {
+			texts++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if texts != 3 {
+		t.Fatalf("with WhitespaceText, got %d text events, want 3", texts)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<a>`,
+		`<a></b>`,
+		`<a x=5></a>`,
+		`<a x="1></a>`,
+		`<a>&unknown;</a>`,
+		`<a>&#xZZ;</a>`,
+		`<a><b></a></b>`,
+		`<a/><b/>`,
+		`<a>text`,
+		`plain text`,
+		`<a x="<"></a>`,
+		`<a><!-- unterminated</a>`,
+		`<a><![CDATA[ unterminated</a>`,
+	}
+	for _, src := range bad {
+		p := NewParser([]byte(src))
+		if err := p.Parse(func(*Event) error { return nil }); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestSyntaxErrorType(t *testing.T) {
+	p := NewParser([]byte(`<a></b>`))
+	err := p.Parse(func(*Event) error { return nil })
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Offset <= 0 || se.Msg == "" {
+		t.Fatalf("uninformative error: %+v", se)
+	}
+}
+
+func TestHandlerErrorAborts(t *testing.T) {
+	p := NewParser([]byte(`<a><b/><c/></a>`))
+	calls := 0
+	wantErr := "stop"
+	err := p.Parse(func(*Event) error {
+		calls++
+		if calls == 2 {
+			return &SyntaxError{Msg: wantErr}
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), wantErr) {
+		t.Fatalf("handler error not propagated: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("handler called %d times after abort", calls)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	depth := 2000
+	src := strings.Repeat("<d>", depth) + "x" + strings.Repeat("</d>", depth)
+	starts := 0
+	p := NewParser([]byte(src))
+	if err := p.Parse(func(ev *Event) error {
+		if ev.Kind == EventStartElement {
+			starts++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if starts != depth {
+		t.Fatalf("starts = %d, want %d", starts, depth)
+	}
+}
+
+func TestAttributesSingleQuotes(t *testing.T) {
+	evs := collect(t, `<a x='v1' y="v2"/>`)
+	if len(evs[0].Attrs) != 2 || evs[0].Attrs[0].Value != "v1" || evs[0].Attrs[1].Value != "v2" {
+		t.Fatalf("attrs = %+v", evs[0].Attrs)
+	}
+}
+
+func TestEscapeHelpers(t *testing.T) {
+	if got := string(EscapeText(nil, `a<b>&c`)); got != "a&lt;b&gt;&amp;c" {
+		t.Fatalf("EscapeText = %q", got)
+	}
+	if got := string(EscapeAttr(nil, `a"<&`)); got != "a&quot;&lt;&amp;" {
+		t.Fatalf("EscapeAttr = %q", got)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString(`<person id="p1"><name>Jo Doe</name><age>42</age></person>`)
+	}
+	sb.WriteString("</root>")
+	src := []byte(sb.String())
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewParser(src)
+		if err := p.Parse(func(*Event) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

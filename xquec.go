@@ -1,0 +1,272 @@
+// Package xquec is a Go implementation of XQueC ("Efficient Query
+// Evaluation over Compressed XML Data", EDBT 2004): an XQuery processor
+// and compressor that stores XML as individually compressed,
+// individually accessible values grouped into per-path containers, and
+// evaluates queries directly in the compressed domain whenever the
+// chosen compression algorithms allow it.
+//
+// The three public entry points mirror the paper's architecture
+// (Fig. 1): Compress is the loader/compressor, Database is the
+// compressed repository, and Database.Query is the query processor.
+//
+//	db, err := xquec.Compress(doc, xquec.Options{})
+//	res, err := db.Query(`FOR $p IN document("d")/site/people/person
+//	                      WHERE $p/age >= 30 RETURN $p/name/text()`)
+//	xml, err := res.SerializeXML()
+//
+// Supplying a query workload lets the cost model (§3 of the paper)
+// choose how containers are partitioned into shared source models and
+// which algorithm — order-preserving ALM, Huffman, Hu-Tucker, or a
+// general-purpose blob codec — compresses each group:
+//
+//	var w xquec.Workload
+//	w.IneqConst("/site/closed_auctions/closed_auction/price/#text")
+//	db, err := xquec.Compress(doc, xquec.Options{Workload: &w})
+package xquec
+
+import (
+	"fmt"
+
+	"xquec/internal/costmodel"
+	"xquec/internal/engine"
+	"xquec/internal/storage"
+	"xquec/internal/workload"
+	"xquec/internal/xquery"
+)
+
+// Workload is the query workload driving compression choices: the set
+// of equality / inequality / prefix predicates over container paths.
+type Workload = workload.Workload
+
+// Predicate is one workload predicate.
+type Predicate = workload.Predicate
+
+// CompressionPlan pins the container partitioning and algorithms
+// explicitly, bypassing the cost model.
+type CompressionPlan = storage.CompressionPlan
+
+// Options configures Compress.
+type Options struct {
+	// Workload, when non-nil, triggers the §3 cost-model search: the
+	// textual containers referenced by the workload are partitioned
+	// into source-model groups with algorithms chosen per group.
+	Workload *Workload
+	// WorkloadQueries derives the workload directly from the
+	// application's queries (the paper's setting); merged with Workload
+	// if both are set.
+	WorkloadQueries []string
+	// SearchSeed seeds the greedy search (it draws predicates at
+	// random); 0 means a fixed default, keeping runs reproducible.
+	SearchSeed int64
+	// Plan overrides the cost model entirely.
+	Plan *CompressionPlan
+}
+
+// Database is a compressed, queryable XML document — the paper's
+// compressed repository plus its query processor. The repository is
+// immutable after loading, so a Database is safe for concurrent Query
+// calls (each query gets its own evaluation state).
+type Database struct {
+	store *storage.Store
+}
+
+// Compress parses and compresses an XML document into a Database.
+func Compress(doc []byte, opts Options) (*Database, error) {
+	plan := opts.Plan
+	w := opts.Workload
+	if len(opts.WorkloadQueries) > 0 {
+		extracted, err := WorkloadFromQueries(opts.WorkloadQueries...)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			extracted.Predicates = append(extracted.Predicates, w.Predicates...)
+		}
+		w = extracted
+	}
+	if plan == nil && w != nil && len(w.Predicates) > 0 {
+		p, err := PlanFromWorkload(doc, w, opts.SearchSeed)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	s, err := storage.Load(doc, storage.LoadOptions{Plan: plan})
+	if err != nil {
+		return nil, err
+	}
+	return fromStore(s), nil
+}
+
+// PlanFromWorkload runs the cost-model search (similarity matrix,
+// E/I/D predicate matrices, greedy configuration moves) and returns the
+// resulting compression plan.
+func PlanFromWorkload(doc []byte, w *Workload, seed int64) (*CompressionPlan, error) {
+	if seed == 0 {
+		seed = 20040314 // fixed default: reproducible choices
+	}
+	infos, err := costmodel.CollectContainers(doc)
+	if err != nil {
+		return nil, err
+	}
+	infos = costmodel.Restrict(infos, w.Paths())
+	if len(infos) == 0 {
+		return &CompressionPlan{}, nil
+	}
+	model, err := costmodel.NewModel(infos, w)
+	if err != nil {
+		return nil, err
+	}
+	cfg, _ := model.Search(seed)
+	groups, algs := model.PlanGroups(cfg)
+	return &CompressionPlan{Groups: groups, Algorithms: algs}, nil
+}
+
+// WorkloadFromQueries derives a workload from XQuery texts by statically
+// resolving every value comparison to its container paths — the paper's
+// setting, where W simply is the application's query set.
+func WorkloadFromQueries(queries ...string) (*Workload, error) {
+	return workload.FromQueries(queries...)
+}
+
+// Open loads a Database previously saved with SaveFile.
+func Open(path string) (*Database, error) {
+	s, err := storage.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromStore(s), nil
+}
+
+// OpenBytes loads a Database from serialized bytes.
+func OpenBytes(data []byte) (*Database, error) {
+	s, err := storage.LoadBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	return fromStore(s), nil
+}
+
+func fromStore(s *storage.Store) *Database {
+	return &Database{store: s}
+}
+
+// SaveFile persists the database.
+func (db *Database) SaveFile(path string) error { return db.store.SaveFile(path) }
+
+// Bytes serializes the database.
+func (db *Database) Bytes() []byte { return db.store.AppendBinary(nil) }
+
+// Decompress reconstructs the original XML document (modulo
+// insignificant whitespace) from the compressed repository.
+func (db *Database) Decompress() ([]byte, error) {
+	return db.store.Serialize(nil, 1)
+}
+
+// Query parses and evaluates an XQuery expression. Safe for concurrent
+// use: the per-query state (join-index caches) is private to the call.
+func (db *Database) Query(q string) (*Results, error) {
+	res, err := engine.New(db.store).Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{res: res}, nil
+}
+
+// Explain renders the evaluation strategy for a query without running
+// it: summary accesses, compressed-domain predicate pushdowns, and the
+// join strategies (compressed merge join vs decompressing hash join).
+func (db *Database) Explain(q string) (string, error) {
+	return engine.New(db.store).Explain(q)
+}
+
+// MustQuery is Query for examples and tests; it panics on error.
+func (db *Database) MustQuery(q string) *Results {
+	r, err := db.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// CompressionFactor is the paper's CF metric: 1 − compressed/original
+// for the serialized repository.
+func (db *Database) CompressionFactor() float64 { return db.store.CompressionFactor() }
+
+// Stats summarizes the database.
+func (db *Database) Stats() Stats {
+	f := db.store.Footprint()
+	return Stats{
+		OriginalBytes:   db.store.OriginalSize,
+		CompressedBytes: len(db.store.AppendBinary(nil)),
+		Nodes:           db.store.NumNodes(),
+		Containers:      len(db.store.Containers),
+		SourceModels:    len(db.store.Models),
+		SummaryNodes:    len(db.store.Sum.Nodes()),
+		InMemoryTotal:   f.Total(),
+		InMemoryMinimal: f.Minimal(),
+	}
+}
+
+// Stats is a database summary.
+type Stats struct {
+	OriginalBytes   int
+	CompressedBytes int
+	Nodes           int
+	Containers      int
+	SourceModels    int
+	SummaryNodes    int
+	InMemoryTotal   int // including access-support structures
+	InMemoryMinimal int // without them (§2.2 ablation)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("original=%dB compressed=%dB (CF %.1f%%) nodes=%d containers=%d models=%d summary=%d",
+		s.OriginalBytes, s.CompressedBytes,
+		100*(1-float64(s.CompressedBytes)/float64(s.OriginalBytes)),
+		s.Nodes, s.Containers, s.SourceModels, s.SummaryNodes)
+}
+
+// ContainerInfo describes one value container.
+type ContainerInfo struct {
+	Path      string
+	Kind      string
+	Algorithm string
+	Group     string
+	Records   int
+	Bytes     int // compressed payload
+}
+
+// Containers lists the database's value containers.
+func (db *Database) Containers() []ContainerInfo {
+	out := make([]ContainerInfo, 0, len(db.store.Containers))
+	for _, c := range db.store.Containers {
+		out = append(out, ContainerInfo{
+			Path:      c.Path,
+			Kind:      c.Kind.String(),
+			Algorithm: c.Codec().Name(),
+			Group:     c.Group,
+			Records:   c.Len(),
+			Bytes:     c.CompressedBytes(),
+		})
+	}
+	return out
+}
+
+// Results is a query result sequence.
+type Results struct {
+	res *engine.Result
+}
+
+// Len returns the number of result items.
+func (r *Results) Len() int { return r.res.Len() }
+
+// SerializeXML renders the results as XML/text, one item per line —
+// the only point where values are decompressed.
+func (r *Results) SerializeXML() (string, error) { return r.res.SerializeXML() }
+
+// ParseQuery checks a query for syntax errors without running it.
+func ParseQuery(q string) error {
+	_, err := xquery.Parse(q)
+	return err
+}
