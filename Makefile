@@ -1,0 +1,28 @@
+# Tier-1 gate plus convenience targets. `make check` is what CI (and
+# every PR) must keep green.
+
+GO ?= go
+
+.PHONY: check build test race vet bench-serve bench
+
+check: vet build race ## tier-1: vet + build + race-clean tests
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Serving-throughput baseline (recorded in EXPERIMENTS.md).
+bench-serve:
+	$(GO) test ./internal/server/ -run xxx -bench BenchmarkServerQuery -benchtime 2s
+
+# Full paper benchmark suite (scaled-down in-test versions).
+bench:
+	$(GO) test -bench . -benchtime 1x .

@@ -4,12 +4,16 @@
 // Usage:
 //
 //	xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
-//	xquec query    [-q query | -f query.xq] repo.xqc
+//	xquec query    [-q query | -f query.xq] [-timeout 30s] repo.xqc
 //	xquec stats    repo.xqc
 //	xquec decompress repo.xqc        # reconstruct the XML
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 query timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +22,10 @@ import (
 	"xquec"
 	"xquec/internal/storage"
 )
+
+// exitTimeout is the exit code for a query aborted by -timeout,
+// distinct from general errors so callers can retry or re-budget.
+const exitTimeout = 3
 
 func main() {
 	if len(os.Args) < 2 {
@@ -39,7 +47,11 @@ func main() {
 		usage()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xquec:", err)
+		// Library errors already carry the "xquec: " package prefix.
+		fmt.Fprintln(os.Stderr, "xquec:", strings.TrimPrefix(err.Error(), "xquec: "))
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(exitTimeout)
+		}
 		os.Exit(1)
 	}
 }
@@ -47,7 +59,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
-  xquec query    [-q query | -f query.xq] repo.xqc
+  xquec query    [-q query | -f query.xq] [-timeout 30s] repo.xqc
   xquec stats    repo.xqc
   xquec explain  -q query repo.xqc
   xquec decompress repo.xqc`)
@@ -93,6 +105,7 @@ func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	q := fs.String("q", "", "query text")
 	qf := fs.String("f", "", "file containing the query")
+	timeout := fs.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,8 +126,17 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := db.Query(*q)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := db.QueryContext(ctx, *q)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("query exceeded %v: %w", *timeout, err)
+		}
 		return err
 	}
 	out, err := res.SerializeXML()

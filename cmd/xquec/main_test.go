@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,6 +55,21 @@ func TestCompressWithAlgorithm(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := cmdQuery([]string{"-q", `/site/people/person[@id = "p0"]/name/text()`, out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	_, repo := setup(t)
+	// An already-expired deadline aborts deterministically before any
+	// evaluation; the error must be distinguishable from query errors
+	// so main can exit with the dedicated timeout code.
+	err := cmdQuery([]string{"-timeout", "1ns", "-q", `count(/site//person)`, repo})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// A generous timeout does not disturb a normal query.
+	if err := cmdQuery([]string{"-timeout", "30s", "-q", `count(/site//person)`, repo}); err != nil {
 		t.Fatal(err)
 	}
 }

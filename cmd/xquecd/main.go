@@ -1,0 +1,89 @@
+// Command xquecd is the XQueC query daemon: it serves XQuery over a
+// directory of compressed .xqc repositories, keeping hot repositories
+// resident and caching compiled queries so repeated workload queries
+// skip the parser.
+//
+// Usage:
+//
+//	xquecd -repos ./repos [-addr :8090] [-pool 8] [-plans 256]
+//	       [-timeout 30s] [-max-concurrent 16]
+//
+// API:
+//
+//	POST /query    {"repo":"auction","query":"count(/site//item)","timeout_ms":500}
+//	GET  /repos    available and resident repositories
+//	GET  /stats    JSON counters, pool and plan-cache statistics
+//	GET  /healthz  liveness probe
+//	GET  /metrics  Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xquec/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	repos := flag.String("repos", "", "directory of .xqc repository files (required)")
+	pool := flag.Int("pool", 8, "max resident repositories")
+	plans := flag.Int("plans", 256, "max cached query plans")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-query evaluation deadline")
+	maxConc := flag.Int("max-concurrent", 0, "max concurrently evaluating queries (0 = 2×GOMAXPROCS)")
+	flag.Parse()
+
+	if *repos == "" {
+		fmt.Fprintln(os.Stderr, "xquecd: -repos is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv, err := server.New(server.Config{
+		RepoDir:       *repos,
+		PoolSize:      *pool,
+		PlanCacheSize: *plans,
+		MaxConcurrent: *maxConc,
+		QueryTimeout:  *timeout,
+	})
+	if err != nil {
+		log.Fatalf("xquecd: %v", err)
+	}
+	names, err := srv.Pool().Available()
+	if err != nil {
+		log.Fatalf("xquecd: %v", err)
+	}
+	log.Printf("xquecd: serving %d repositories from %s on %s (pool=%d plans=%d timeout=%v)",
+		len(names), *repos, *addr, *pool, *plans, *timeout)
+	for _, n := range names {
+		log.Printf("xquecd:   repo %s", n)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("xquecd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("xquecd: %v", err)
+	}
+	<-done
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,18 +10,35 @@ import (
 	"xquec/internal/xquery"
 )
 
-// Engine evaluates XQuery over a compressed repository.
+// Engine evaluates XQuery over a compressed repository. An Engine holds
+// per-query state and must not be shared between goroutines; the store
+// it reads is immutable, so any number of Engines may run over one
+// Store concurrently.
 type Engine struct {
 	store *storage.Store
 	// joinIdx caches container join indexes per comparison expression,
 	// so correlated nested FLWORs (the Q8/Q9 shape) build the join once
 	// instead of rescanning per outer binding.
 	joinIdx map[*xquery.Cmp]*joinIndex
+	// ctx, when non-nil, is polled in the evaluation loop so timeouts
+	// and client disconnects abort long evaluations mid-stream.
+	ctx      context.Context
+	ctxTick  int
+	canceled error
 }
 
 // New returns an engine over the store.
 func New(s *storage.Store) *Engine {
 	return &Engine{store: s, joinIdx: map[*xquery.Cmp]*joinIndex{}}
+}
+
+// WithContext arms the engine's cancellation checks with ctx and
+// returns the engine.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	if ctx != nil && ctx != context.Background() {
+		e.ctx = ctx
+	}
+	return e
 }
 
 // Store exposes the underlying repository.
@@ -35,15 +53,52 @@ func (e *Engine) Query(src string) (*Result, error) {
 	return e.Eval(expr)
 }
 
+// QueryContext is Query with cancellation: the evaluation loop polls
+// ctx and aborts with ctx.Err() once it is done.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return e.WithContext(ctx).Query(src)
+}
+
 // Eval evaluates a parsed query.
 func (e *Engine) Eval(expr xquery.Expr) (*Result, error) {
 	e.joinIdx = map[*xquery.Cmp]*joinIndex{}
+	e.canceled = nil
+	if e.ctx != nil {
+		// Check once up front so an already-expired deadline fails
+		// deterministically, before any evaluation work.
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	env := newScope()
 	items, err := e.eval(expr, env)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Items: items, store: e.store}, nil
+}
+
+// checkCancel polls the engine's context. The poll is amortized: the
+// channel receive runs every 64th call, the rest is one branch and an
+// increment, cheap enough for the per-expression hot path.
+func (e *Engine) checkCancel() error {
+	if e.ctx == nil {
+		return nil
+	}
+	if e.canceled != nil {
+		return e.canceled
+	}
+	e.ctxTick++
+	if e.ctxTick&63 != 0 {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		e.canceled = e.ctx.Err()
+		return e.canceled
+	default:
+		return nil
+	}
 }
 
 // env is the evaluation environment: variable bindings, the context
@@ -82,6 +137,9 @@ func (v *scope) withCtx(it Item, sums []*storage.SummaryNode) *scope {
 
 // eval dispatches on the AST.
 func (e *Engine) eval(expr xquery.Expr, env *scope) (Seq, error) {
+	if err := e.checkCancel(); err != nil {
+		return nil, err
+	}
 	switch x := expr.(type) {
 	case *xquery.StringLit:
 		return Seq{x.Val}, nil

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds; the
+// implicit final bucket is +Inf.
+var latencyBounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Metrics is the server's observability surface: atomic counters and a
+// fixed-bucket latency histogram, exported on /metrics in Prometheus
+// text exposition format with no external dependencies. All methods
+// are safe for concurrent use.
+type Metrics struct {
+	QueriesTotal atomic.Int64 // completed /query requests, any outcome
+	QueryErrors  atomic.Int64 // failed with a query/repo error
+	Timeouts     atomic.Int64 // aborted by deadline or client disconnect
+	InFlight     atomic.Int64 // gauge: queries currently evaluating
+
+	RepoHits   atomic.Int64 // repository pool hits
+	RepoMisses atomic.Int64 // repository pool misses (loads)
+	PlanHits   atomic.Int64 // plan cache hits
+	PlanMisses atomic.Int64 // plan cache misses (parses)
+
+	ResultItems atomic.Int64 // result sequence items returned
+	ResultBytes atomic.Int64 // serialized result bytes returned
+
+	latCount atomic.Int64
+	latSumUs atomic.Int64 // microseconds, to keep the sum integral
+	latBkt   [len(latencyBounds) + 1]atomic.Int64
+}
+
+// ObserveLatency records one query's wall-clock duration.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	m.latCount.Add(1)
+	m.latSumUs.Add(d.Microseconds())
+	s := d.Seconds()
+	for i, b := range latencyBounds {
+		if s <= b {
+			m.latBkt[i].Add(1)
+			return
+		}
+	}
+	m.latBkt[len(latencyBounds)].Add(1)
+}
+
+// Snapshot is a point-in-time JSON-friendly view of the counters.
+type Snapshot struct {
+	QueriesTotal  int64   `json:"queries_total"`
+	QueryErrors   int64   `json:"query_errors"`
+	Timeouts      int64   `json:"timeouts"`
+	InFlight      int64   `json:"in_flight"`
+	RepoHits      int64   `json:"repo_hits"`
+	RepoMisses    int64   `json:"repo_misses"`
+	PlanHits      int64   `json:"plan_hits"`
+	PlanMisses    int64   `json:"plan_misses"`
+	ResultItems   int64   `json:"result_items"`
+	ResultBytes   int64   `json:"result_bytes"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		QueriesTotal: m.QueriesTotal.Load(),
+		QueryErrors:  m.QueryErrors.Load(),
+		Timeouts:     m.Timeouts.Load(),
+		InFlight:     m.InFlight.Load(),
+		RepoHits:     m.RepoHits.Load(),
+		RepoMisses:   m.RepoMisses.Load(),
+		PlanHits:     m.PlanHits.Load(),
+		PlanMisses:   m.PlanMisses.Load(),
+		ResultItems:  m.ResultItems.Load(),
+		ResultBytes:  m.ResultBytes.Load(),
+	}
+	if n := m.latCount.Load(); n > 0 {
+		s.LatencyMeanMs = float64(m.latSumUs.Load()) / float64(n) / 1000
+	}
+	return s
+}
+
+// WritePrometheus writes the metrics in Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("xquecd_queries_total", "Queries served (any outcome).", m.QueriesTotal.Load())
+	counter("xquecd_query_errors_total", "Queries failed with an error.", m.QueryErrors.Load())
+	counter("xquecd_query_timeouts_total", "Queries aborted by deadline or disconnect.", m.Timeouts.Load())
+	counter("xquecd_repo_cache_hits_total", "Repository pool hits.", m.RepoHits.Load())
+	counter("xquecd_repo_cache_misses_total", "Repository pool misses.", m.RepoMisses.Load())
+	counter("xquecd_plan_cache_hits_total", "Plan cache hits.", m.PlanHits.Load())
+	counter("xquecd_plan_cache_misses_total", "Plan cache misses.", m.PlanMisses.Load())
+	counter("xquecd_result_items_total", "Result items returned.", m.ResultItems.Load())
+	counter("xquecd_result_bytes_total", "Serialized result bytes returned.", m.ResultBytes.Load())
+
+	fmt.Fprintf(w, "# HELP xquecd_in_flight_queries Queries currently evaluating.\n")
+	fmt.Fprintf(w, "# TYPE xquecd_in_flight_queries gauge\nxquecd_in_flight_queries %d\n", m.InFlight.Load())
+
+	fmt.Fprintf(w, "# HELP xquecd_query_duration_seconds Query latency.\n")
+	fmt.Fprintf(w, "# TYPE xquecd_query_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, b := range latencyBounds {
+		cum += m.latBkt[i].Load()
+		fmt.Fprintf(w, "xquecd_query_duration_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += m.latBkt[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "xquecd_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "xquecd_query_duration_seconds_sum %g\n", float64(m.latSumUs.Load())/1e6)
+	fmt.Fprintf(w, "xquecd_query_duration_seconds_count %d\n", m.latCount.Load())
+}

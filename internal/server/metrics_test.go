@@ -1,0 +1,69 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	m := &Metrics{}
+	m.QueriesTotal.Add(3)
+	m.QueryErrors.Add(1)
+	m.PlanHits.Add(2)
+	m.PlanMisses.Add(1)
+	m.RepoHits.Add(2)
+	m.RepoMisses.Add(1)
+	m.ObserveLatency(300 * time.Microsecond)
+	m.ObserveLatency(7 * time.Millisecond)
+	m.ObserveLatency(20 * time.Second) // lands in +Inf
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"xquecd_queries_total 3",
+		"xquecd_query_errors_total 1",
+		"xquecd_plan_cache_hits_total 2",
+		"xquecd_plan_cache_misses_total 1",
+		"xquecd_repo_cache_hits_total 2",
+		"xquecd_repo_cache_misses_total 1",
+		"# TYPE xquecd_query_duration_seconds histogram",
+		`xquecd_query_duration_seconds_bucket{le="0.0005"} 1`,
+		`xquecd_query_duration_seconds_bucket{le="0.01"} 2`,
+		`xquecd_query_duration_seconds_bucket{le="+Inf"} 3`,
+		"xquecd_query_duration_seconds_count 3",
+		"# TYPE xquecd_in_flight_queries gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsHistogramCumulative(t *testing.T) {
+	m := &Metrics{}
+	for i := 0; i < 10; i++ {
+		m.ObserveLatency(time.Duration(i) * time.Millisecond)
+	}
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	// Buckets must be cumulative: the largest bound holds every sample.
+	if !strings.Contains(sb.String(), `xquecd_query_duration_seconds_bucket{le="10"} 10`) {
+		t.Fatalf("buckets not cumulative:\n%s", sb.String())
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := &Metrics{}
+	m.QueriesTotal.Add(2)
+	m.ObserveLatency(2 * time.Millisecond)
+	m.ObserveLatency(4 * time.Millisecond)
+	s := m.Snapshot()
+	if s.QueriesTotal != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.LatencyMeanMs < 2.9 || s.LatencyMeanMs > 3.1 {
+		t.Fatalf("mean latency = %v, want ~3ms", s.LatencyMeanMs)
+	}
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"xquec"
+)
+
+// PlanCache is an LRU cache of prepared (parsed) queries keyed by
+// (repository, query text), so a repeated workload query skips the
+// parser on every execution after the first. Prepared queries are
+// read-only after construction and every execution builds its own
+// engine state, so one cached entry serves any number of concurrent
+// requests.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[planKey]*list.Element
+	lru     *list.List // front = most recent; values are *planEntry
+
+	hits, misses, evictions int64
+}
+
+type planKey struct{ repo, query string }
+
+type planEntry struct {
+	key  planKey
+	prep *xquec.Prepared
+}
+
+// NewPlanCache returns a cache holding up to capacity plans (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{cap: capacity, entries: map[planKey]*list.Element{}, lru: list.New()}
+}
+
+// Get returns the cached plan for (repo, query), or nil.
+func (c *PlanCache) Get(repo, query string) *xquec.Prepared {
+	k := planKey{repo, query}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).prep
+}
+
+// Put inserts a plan, evicting the least recently used entry when the
+// cache is full.
+func (c *PlanCache) Put(repo, query string, prep *xquec.Prepared) {
+	k := planKey{repo, query}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*planEntry).prep = prep
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&planEntry{key: k, prep: prep})
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*planEntry).key)
+		c.evictions++
+	}
+}
+
+// Invalidate drops every plan cached for repo (used when a repository
+// handle is replaced).
+func (c *PlanCache) Invalidate(repo string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, el := range c.entries {
+		if k.repo == repo {
+			c.lru.Remove(el)
+			delete(c.entries, k)
+		}
+	}
+}
+
+// PlanCacheStats is a snapshot of the cache's counters.
+type PlanCacheStats struct {
+	Capacity  int   `json:"capacity"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Capacity: c.cap, Entries: c.lru.Len(),
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

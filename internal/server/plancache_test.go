@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"xquec"
+)
+
+func testPrepared(t *testing.T, q string) *xquec.Prepared {
+	t.Helper()
+	db, err := xquec.Compress([]byte("<doc><a>1</a><a>2</a></doc>"), xquec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanCacheHitMissEvict(t *testing.T) {
+	c := NewPlanCache(2)
+	if c.Get("r", "q1") != nil {
+		t.Fatal("empty cache hit")
+	}
+	p1 := testPrepared(t, `count(/doc/a)`)
+	c.Put("r", "q1", p1)
+	if got := c.Get("r", "q1"); got != p1 {
+		t.Fatal("missing after Put")
+	}
+	if c.Get("other", "q1") != nil {
+		t.Fatal("plans must be per-repo")
+	}
+	c.Put("r", "q2", testPrepared(t, `count(/doc)`))
+	c.Get("r", "q1")                                   // touch q1: q2 becomes LRU
+	c.Put("r", "q3", testPrepared(t, `/doc/a/text()`)) // evicts q2
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.Get("r", "q2") != nil {
+		t.Fatal("q2 should be the evicted entry (q1 was more recently used)")
+	}
+	if c.Get("r", "q1") == nil || c.Get("r", "q3") == nil {
+		t.Fatal("q1/q3 should survive")
+	}
+}
+
+func TestPlanCacheInvalidate(t *testing.T) {
+	c := NewPlanCache(8)
+	for i := 0; i < 3; i++ {
+		c.Put("a", fmt.Sprintf("q%d", i), testPrepared(t, `count(/doc/a)`))
+	}
+	c.Put("b", "q0", testPrepared(t, `count(/doc/a)`))
+	c.Invalidate("a")
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d after invalidate", st.Entries)
+	}
+	if c.Get("b", "q0") == nil {
+		t.Fatal("other repo's plans dropped")
+	}
+}
+
+func TestPlanCacheExecutableEntries(t *testing.T) {
+	c := NewPlanCache(4)
+	p := testPrepared(t, `count(/doc/a)`)
+	c.Put("r", p.Text(), p)
+	got := c.Get("r", p.Text())
+	res, err := got.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, _ := res.SerializeXML(); out != "2" {
+		t.Fatalf("cached plan result = %q", out)
+	}
+}

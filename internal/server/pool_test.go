@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"xquec"
+)
+
+// writeRepo compresses a tiny document into dir/name.xqc.
+func writeRepo(t testing.TB, dir, name, doc string) {
+	t.Helper()
+	db, err := xquec.Compress([]byte(doc), xquec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFile(filepath.Join(dir, name+".xqc")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolLoadHitEvict(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		writeRepo(t, dir, fmt.Sprintf("r%d", i), fmt.Sprintf("<doc><n>%d</n></doc>", i))
+	}
+	p := NewPool(dir, 2)
+
+	db0, cached, err := p.Get("r0")
+	if err != nil || cached {
+		t.Fatalf("first get: cached=%v err=%v", cached, err)
+	}
+	if _, cached, _ = p.Get("r0"); !cached {
+		t.Fatal("second get should hit")
+	}
+	again, _, _ := p.Get("r0")
+	if again != db0 {
+		t.Fatal("hit returned a different handle")
+	}
+	p.Get("r1")
+	p.Get("r2") // capacity 2: evicts r0 (LRU)
+	if _, cached, _ := p.Get("r0"); cached {
+		t.Fatal("r0 should have been evicted")
+	}
+	st := p.Stats()
+	if st.Evictions < 1 || st.Hits < 2 || st.Misses < 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.Resident) != 2 {
+		t.Fatalf("resident = %v", st.Resident)
+	}
+}
+
+func TestPoolRejectsBadNames(t *testing.T) {
+	p := NewPool(t.TempDir(), 2)
+	for _, name := range []string{"", "../etc/passwd", "a/b", `a\b`, ".."} {
+		if _, _, err := p.Get(name); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+}
+
+func TestPoolMissingRepo(t *testing.T) {
+	p := NewPool(t.TempDir(), 2)
+	if _, _, err := p.Get("nope"); err == nil {
+		t.Fatal("missing repository loaded")
+	}
+	// Failed loads are not cached: create the file and retry.
+	writeRepo(t, p.dir, "nope", "<doc><a>1</a></doc>")
+	if _, _, err := p.Get("nope"); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+}
+
+func TestPoolConcurrentGetSharesOneLoad(t *testing.T) {
+	dir := t.TempDir()
+	writeRepo(t, dir, "shared", "<doc><a>1</a></doc>")
+	p := NewPool(dir, 2)
+	loads := 0
+	var loadMu sync.Mutex
+	inner := p.open
+	p.open = func(path string) (*xquec.Database, error) {
+		loadMu.Lock()
+		loads++
+		loadMu.Unlock()
+		return inner(path)
+	}
+	var wg sync.WaitGroup
+	dbs := make([]*xquec.Database, 16)
+	for i := range dbs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			db, _, err := p.Get("shared")
+			if err != nil {
+				t.Error(err)
+			}
+			dbs[i] = db
+		}(i)
+	}
+	wg.Wait()
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+	for _, db := range dbs[1:] {
+		if db != dbs[0] {
+			t.Fatal("goroutines got different handles")
+		}
+	}
+}
+
+func TestPoolAvailable(t *testing.T) {
+	dir := t.TempDir()
+	writeRepo(t, dir, "b", "<doc><a>1</a></doc>")
+	writeRepo(t, dir, "a", "<doc><a>1</a></doc>")
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644)
+	p := NewPool(dir, 2)
+	names, err := p.Available()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}

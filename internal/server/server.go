@@ -1,0 +1,304 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// RepoDir is the directory holding *.xqc repository files;
+	// repositories are addressed by file name without the extension.
+	RepoDir string
+	// PoolSize caps the number of resident repositories (default 8).
+	PoolSize int
+	// PlanCacheSize caps the number of cached query plans (default 256).
+	PlanCacheSize int
+	// MaxConcurrent bounds simultaneously evaluating queries; excess
+	// requests wait their turn (default 2×GOMAXPROCS).
+	MaxConcurrent int
+	// QueryTimeout is the per-query evaluation deadline (default 30s).
+	// A request may ask for less via timeout_ms, never for more.
+	QueryTimeout time.Duration
+	// MaxBodyBytes caps the /query request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 8
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+}
+
+// Server is the xquecd query service: repository pool + plan cache +
+// bounded concurrent evaluation + metrics, behind an HTTP JSON API.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	plans   *PlanCache
+	metrics *Metrics
+	sem     chan struct{}
+	start   time.Time
+}
+
+// New builds a Server over cfg.RepoDir.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if cfg.RepoDir == "" {
+		return nil, fmt.Errorf("server: RepoDir is required")
+	}
+	if st, err := os.Stat(cfg.RepoDir); err != nil || !st.IsDir() {
+		return nil, fmt.Errorf("server: repository directory %s is not a directory", cfg.RepoDir)
+	}
+	return &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.RepoDir, cfg.PoolSize),
+		plans:   NewPlanCache(cfg.PlanCacheSize),
+		metrics: &Metrics{},
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		start:   time.Now(),
+	}, nil
+}
+
+// Metrics exposes the server's metrics (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Pool exposes the repository pool.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// PlanCache exposes the plan cache.
+func (s *Server) PlanCache() *PlanCache { return s.plans }
+
+// Handler returns the HTTP API:
+//
+//	POST /query    {"repo": name, "query": text, "timeout_ms": n?}
+//	GET  /repos    available + resident repositories
+//	GET  /stats    JSON counters and cache statistics
+//	GET  /healthz  liveness probe
+//	GET  /metrics  Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/repos", s.handleRepos)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.WritePrometheus(w)
+	})
+	return mux
+}
+
+// QueryRequest is the /query request body.
+type QueryRequest struct {
+	Repo  string `json:"repo"`
+	Query string `json:"query"`
+	// TimeoutMs optionally lowers the server's query timeout for this
+	// request.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	Repo       string  `json:"repo"`
+	Count      int     `json:"count"`
+	Result     string  `json:"result"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+	PlanCached bool    `json:"plan_cached"`
+	RepoCached bool    `json:"repo_cached"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
+		return
+	}
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Repo == "" || strings.TrimSpace(req.Query) == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"repo and query are required"})
+		return
+	}
+
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Admission: wait for an evaluation slot, giving up if the caller's
+	// deadline expires in the queue.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.metrics.QueriesTotal.Add(1)
+		s.metrics.Timeouts.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"queue wait exceeded deadline"})
+		return
+	}
+
+	started := time.Now()
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+
+	resp, status, err := s.runQuery(ctx, req)
+	elapsed := time.Since(started)
+	s.metrics.QueriesTotal.Add(1)
+	s.metrics.ObserveLatency(elapsed)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.Timeouts.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+				fmt.Sprintf("query exceeded %v deadline", timeout)})
+			return
+		}
+		s.metrics.QueryErrors.Add(1)
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	resp.ElapsedMs = float64(elapsed.Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runQuery resolves the repository and plan through the caches and
+// evaluates. The returned status is used only when err is non-nil and
+// not a cancellation.
+func (s *Server) runQuery(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
+	db, repoCached, err := s.pool.Get(req.Repo)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown repository %q", req.Repo)
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	if repoCached {
+		s.metrics.RepoHits.Add(1)
+	} else {
+		s.metrics.RepoMisses.Add(1)
+	}
+
+	prep := s.plans.Get(req.Repo, req.Query)
+	planCached := prep != nil
+	if planCached {
+		s.metrics.PlanHits.Add(1)
+	} else {
+		s.metrics.PlanMisses.Add(1)
+		prep, err = db.Prepare(req.Query)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		s.plans.Put(req.Repo, req.Query, prep)
+	}
+
+	res, err := prep.RunContext(ctx)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	out, err := res.SerializeXML()
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	s.metrics.ResultItems.Add(int64(res.Len()))
+	s.metrics.ResultBytes.Add(int64(len(out)))
+	return &QueryResponse{
+		Repo:       req.Repo,
+		Count:      res.Len(),
+		Result:     out,
+		PlanCached: planCached,
+		RepoCached: repoCached,
+	}, http.StatusOK, nil
+}
+
+// RepoInfo describes one repository for /repos.
+type RepoInfo struct {
+	Name     string `json:"name"`
+	Resident bool   `json:"resident"`
+}
+
+func (s *Server) handleRepos(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	names, err := s.pool.Available()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	resident := map[string]bool{}
+	for _, n := range s.pool.Resident() {
+		resident[n] = true
+	}
+	out := make([]RepoInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, RepoInfo{Name: n, Resident: resident[n]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"repos": out})
+}
+
+// StatsResponse is the /stats body.
+type StatsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	MaxConcurrent int            `json:"max_concurrent"`
+	QueryTimeout  string         `json:"query_timeout"`
+	Counters      Snapshot       `json:"counters"`
+	Pool          PoolStats      `json:"pool"`
+	PlanCache     PlanCacheStats `json:"plan_cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET required"})
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		QueryTimeout:  s.cfg.QueryTimeout.String(),
+		Counters:      s.metrics.Snapshot(),
+		Pool:          s.pool.Stats(),
+		PlanCache:     s.plans.Stats(),
+	})
+}

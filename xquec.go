@@ -25,6 +25,7 @@
 package xquec
 
 import (
+	"context"
 	"fmt"
 
 	"xquec/internal/costmodel"
@@ -63,9 +64,14 @@ type Options struct {
 }
 
 // Database is a compressed, queryable XML document — the paper's
-// compressed repository plus its query processor. The repository is
-// immutable after loading, so a Database is safe for concurrent Query
-// calls (each query gets its own evaluation state).
+// compressed repository plus its query processor.
+//
+// The repository is immutable after loading, so a Database is safe for
+// concurrent use on the read path: Query, QueryContext, Prepare,
+// Explain, Stats, Containers and Decompress may all run from any
+// number of goroutines over one Database (each query gets its own
+// evaluation state; the store, containers, summary and codecs are
+// never written after Load/Open).
 type Database struct {
 	store *storage.Store
 }
@@ -133,7 +139,7 @@ func WorkloadFromQueries(queries ...string) (*Workload, error) {
 func Open(path string) (*Database, error) {
 	s, err := storage.OpenFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("xquec: open repository %s: %w", path, err)
 	}
 	return fromStore(s), nil
 }
@@ -142,7 +148,7 @@ func Open(path string) (*Database, error) {
 func OpenBytes(data []byte) (*Database, error) {
 	s, err := storage.LoadBinary(data)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("xquec: load repository: %w", err)
 	}
 	return fromStore(s), nil
 }
@@ -167,6 +173,52 @@ func (db *Database) Decompress() ([]byte, error) {
 // use: the per-query state (join-index caches) is private to the call.
 func (db *Database) Query(q string) (*Results, error) {
 	res, err := engine.New(db.store).Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{res: res}, nil
+}
+
+// QueryContext is Query with cancellation: the evaluation loop polls
+// ctx, so a deadline or a client disconnect aborts a long evaluation
+// mid-stream with ctx.Err() (context.DeadlineExceeded / Canceled).
+func (db *Database) QueryContext(ctx context.Context, q string) (*Results, error) {
+	res, err := engine.New(db.store).QueryContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{res: res}, nil
+}
+
+// Prepare parses a query once for repeated execution, skipping the
+// parser on every subsequent run — the unit a serving plan cache
+// stores. The prepared query is bound to this Database and is safe for
+// concurrent Run calls: the parsed form is never mutated and every
+// execution gets a fresh engine.
+func (db *Database) Prepare(q string) (*Prepared, error) {
+	expr, err := xquery.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, expr: expr, text: q}, nil
+}
+
+// Prepared is a parsed query bound to a Database.
+type Prepared struct {
+	db   *Database
+	expr xquery.Expr
+	text string
+}
+
+// Text returns the original query text.
+func (p *Prepared) Text() string { return p.text }
+
+// Run evaluates the prepared query.
+func (p *Prepared) Run() (*Results, error) { return p.RunContext(context.Background()) }
+
+// RunContext evaluates the prepared query under ctx (see QueryContext).
+func (p *Prepared) RunContext(ctx context.Context) (*Results, error) {
+	res, err := engine.New(p.db.store).WithContext(ctx).Eval(p.expr)
 	if err != nil {
 		return nil, err
 	}
