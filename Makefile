@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-serve bench
+.PHONY: check build test race vet bench-serve bench bench-paper
 
-check: vet build race ## tier-1: vet + build + race-clean tests
+check: vet build race bench ## tier-1: vet + build + race-clean tests + bench smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,15 @@ race:
 bench-serve:
 	$(GO) test ./internal/server/ -run xxx -bench BenchmarkServerQuery -benchtime 2s
 
-# Full paper benchmark suite (scaled-down in-test versions).
+# Ingestion + decode + serving benchmarks with allocation counts; each
+# run appends one JSON record to BENCH_ingest.json for cross-commit
+# comparison.
 bench:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
+	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
+	| /tmp/benchjson -o BENCH_ingest.json -label ingest+decode+serve
+
+# Full paper benchmark suite (scaled-down in-test versions).
+bench-paper:
 	$(GO) test -bench . -benchtime 1x .

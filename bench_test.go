@@ -11,6 +11,7 @@
 package xquec
 
 import (
+	"fmt"
 	"testing"
 
 	"xquec/internal/datagen"
@@ -254,14 +255,62 @@ func BenchmarkAblationSummaryAccess(b *testing.B) {
 	})
 }
 
-// BenchmarkCompressXMark measures the loader/compressor throughput.
+// BenchmarkCompressXMark measures the loader/compressor throughput at
+// several worker counts; p=1 is the serial baseline the pipeline's
+// speedup is judged against.
 func BenchmarkCompressXMark(b *testing.B) {
 	doc := datagen.XMark(datagen.XMarkConfig{Scale: benchScale, Seed: experiments.Seed})
-	b.SetBytes(int64(len(doc)))
-	for i := 0; i < b.N; i++ {
-		if _, err := storage.Load(doc, storage.LoadOptions{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, par := range []int{1, 2, 4} {
+		par := par
+		b.Run(fmt.Sprintf("p=%d", par), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				if _, err := storage.Load(doc, storage.LoadOptions{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeScratch measures steady-state per-value decode through
+// the pooled scratch API; with -benchmem the expected allocation count
+// is zero for every codec.
+func BenchmarkDecodeScratch(b *testing.B) {
+	doc := datagen.XMark(datagen.XMarkConfig{Scale: benchScale, Seed: experiments.Seed})
+	for _, alg := range []string{storage.AlgALM, storage.AlgHuffman, storage.AlgHuTucker} {
+		alg := alg
+		b.Run(alg, func(b *testing.B) {
+			s, err := storage.Load(doc, storage.LoadOptions{
+				Plan: &storage.CompressionPlan{DefaultAlgorithm: alg},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, ok := s.ContainerByPath("/site/open_auctions/open_auction/annotation/description/text/#text")
+			if !ok {
+				b.Fatal("missing description container")
+			}
+			sc := storage.NewScratch()
+			defer sc.Release()
+			bytes := 0
+			for i := 0; i < c.Len(); i++ {
+				v, err := c.DecodeScratch(sc, i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes += len(v)
+			}
+			b.SetBytes(int64(bytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < c.Len(); j++ {
+					if _, err := c.DecodeScratch(sc, j); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

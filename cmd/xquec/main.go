@@ -58,7 +58,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
+  xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] [-p workers] [-v] doc.xml
   xquec query    [-q query | -f query.xq] [-timeout 30s] repo.xqc
   xquec stats    repo.xqc
   xquec explain  -q query repo.xqc
@@ -70,6 +70,8 @@ func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	out := fs.String("o", "", "output repository file (default: input + .xqc)")
 	alg := fs.String("alg", "", "default string algorithm (alm, huffman, hutucker, blob)")
+	par := fs.Int("p", 0, "compressor worker count (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	verbose := fs.Bool("v", false, "print per-phase build timings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +83,7 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	var opts xquec.Options
+	opts := xquec.Options{Parallelism: *par}
 	if *alg != "" {
 		opts.Plan = &xquec.CompressionPlan{DefaultAlgorithm: *alg}
 	}
@@ -98,6 +100,11 @@ func cmdCompress(args []string) error {
 	}
 	st := db.Stats()
 	fmt.Printf("%s -> %s\n%s\n", in, dst, st)
+	if *verbose {
+		b := db.IngestStats()
+		fmt.Printf("build: workers=%d parse=%v classify=%v train=%v encode=%v index=%v total=%v\n",
+			b.Parallelism, b.Parse, b.Classify, b.Train, b.Encode, b.Index, b.Total())
+	}
 	return nil
 }
 

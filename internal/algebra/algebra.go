@@ -273,10 +273,10 @@ func ContRange(c *storage.Container, lo []byte, loInc bool, hi []byte, hiInc boo
 // model charges for (cases i–iii).
 func ContFilter(c *storage.Container, pred func(plain []byte) bool) (NodeSet, error) {
 	var ids []storage.NodeID
-	var buf []byte
+	sc := storage.NewScratch()
+	defer sc.Release()
 	for i := 0; i < c.Len(); i++ {
-		var err error
-		buf, err = c.Decode(buf[:0], i)
+		buf, err := c.DecodeScratch(sc, i)
 		if err != nil {
 			return nil, err
 		}
@@ -345,10 +345,10 @@ func HashJoinContainers(a, b *storage.Container) ([]Pair, error) {
 		swapped = true
 	}
 	table := make(map[string][]storage.NodeID, a.Len())
-	var buf []byte
-	var err error
+	sc := storage.NewScratch()
+	defer sc.Release()
 	for i := 0; i < a.Len(); i++ {
-		buf, err = a.Decode(buf[:0], i)
+		buf, err := a.DecodeScratch(sc, i)
 		if err != nil {
 			return nil, err
 		}
@@ -356,7 +356,7 @@ func HashJoinContainers(a, b *storage.Container) ([]Pair, error) {
 	}
 	var out []Pair
 	for j := 0; j < b.Len(); j++ {
-		buf, err = b.Decode(buf[:0], j)
+		buf, err := b.DecodeScratch(sc, j)
 		if err != nil {
 			return nil, err
 		}
@@ -389,10 +389,10 @@ func JoinContainers(a, b *storage.Container) ([]Pair, bool, error) {
 // point).
 func TextContent(s *storage.Store, in NodeSet) ([]string, error) {
 	out := make([]string, len(in))
-	var buf []byte
+	sc := storage.NewScratch()
+	defer sc.Release()
 	for i, id := range in {
-		var err error
-		buf, err = s.Text(buf[:0], id)
+		buf, err := s.TextScratch(sc, id)
 		if err != nil {
 			return nil, err
 		}

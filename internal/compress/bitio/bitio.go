@@ -73,10 +73,19 @@ type Reader struct {
 // NewReader returns a Reader over buf limited to nbits bits.
 // If nbits is negative, all of buf (8*len(buf) bits) is available.
 func NewReader(buf []byte, nbits int) *Reader {
+	r := &Reader{}
+	r.Init(buf, nbits)
+	return r
+}
+
+// Init resets r to read buf, limited to nbits bits (negative means all
+// of buf). It lets decoders use a stack-allocated value Reader on hot
+// paths instead of heap-allocating one per call via NewReader.
+func (r *Reader) Init(buf []byte, nbits int) {
 	if nbits < 0 {
 		nbits = 8 * len(buf)
 	}
-	return &Reader{buf: buf, end: nbits}
+	*r = Reader{buf: buf, end: nbits}
 }
 
 // ReadBit returns the next bit, or an error at end of input.

@@ -266,9 +266,12 @@ func MatchesPrefix(enc, prefixBits []byte, nbits int) bool {
 
 // Decode implements compress.Codec using canonical decoding.
 func (c *Codec) Decode(dst, enc []byte) ([]byte, error) {
-	r := bitio.NewReader(enc, -1)
+	// Value Reader + Init keeps the reader on the stack; NewReader would
+	// heap-allocate one per decoded value.
+	var r bitio.Reader
+	r.Init(enc, -1)
 	for {
-		sym, err := c.decodeSymbol(r)
+		sym, err := c.decodeSymbol(&r)
 		if err != nil {
 			return dst, err
 		}

@@ -216,7 +216,10 @@ func (c *Codec) Encode(dst, value []byte) ([]byte, error) {
 
 // Decode implements compress.Codec.
 func (c *Codec) Decode(dst, enc []byte) ([]byte, error) {
-	r := bitio.NewReader(enc, -1)
+	// Value Reader + Init keeps the reader on the stack; NewReader would
+	// heap-allocate one per decoded value.
+	var r bitio.Reader
+	r.Init(enc, -1)
 	for {
 		n := c.root
 		for n.symbol < 0 {

@@ -25,6 +25,10 @@ type Engine struct {
 	ctx      context.Context
 	ctxTick  int
 	canceled error
+	// sbuf is the reusable decode buffer for stringValue: one evaluation
+	// atomizes many nodes, and the engine is single-goroutine, so one
+	// buffer serves them all without per-call allocation.
+	sbuf []byte
 }
 
 // New returns an engine over the store.

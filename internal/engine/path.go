@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -689,11 +690,13 @@ func canonicalProbe(c *storage.Container, literal string) ([]byte, bool) {
 		if c.Len() == 0 {
 			return nil, false
 		}
-		v, err := c.Decode(nil, 0)
+		sc := storage.NewScratch()
+		defer sc.Release()
+		v, err := c.DecodeScratch(sc, 0)
 		if err != nil {
 			return nil, false
 		}
-		dot := strings.IndexByte(string(v), '.')
+		dot := bytes.IndexByte(v, '.')
 		if dot < 0 {
 			return nil, false
 		}

@@ -154,14 +154,13 @@ func formatNum(f float64) string {
 func (e *Engine) stringValue(it Item) (string, error) {
 	switch v := it.(type) {
 	case storage.NodeID:
-		var b []byte
 		var err error
 		if e.store.IsAttr(v) {
-			b, err = e.store.Text(nil, v)
+			e.sbuf, err = e.store.Text(e.sbuf[:0], v)
 		} else {
-			b, err = e.store.DeepText(nil, v)
+			e.sbuf, err = e.store.DeepText(e.sbuf[:0], v)
 		}
-		return string(b), err
+		return string(e.sbuf), err
 	case string:
 		return v, nil
 	case float64:

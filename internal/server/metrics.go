@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"xquec/internal/storage"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; the
@@ -64,6 +66,21 @@ type Snapshot struct {
 	ResultItems   int64   `json:"result_items"`
 	ResultBytes   int64   `json:"result_bytes"`
 	LatencyMeanMs float64 `json:"latency_mean_ms"`
+
+	// Decode scratch-pool traffic (process-wide, from internal/storage):
+	// gets is how many pooled decode buffers were handed out, allocs how
+	// many were freshly allocated — the gap is allocation-free reuse.
+	DecodeScratchGets   int64 `json:"decode_scratch_gets"`
+	DecodeScratchAllocs int64 `json:"decode_scratch_allocs"`
+
+	// Ingestion pipeline totals (process-wide, over all storage.Load
+	// calls — nonzero only when this process compiled repositories).
+	IngestLoads      int64 `json:"ingest_loads"`
+	IngestParseNs    int64 `json:"ingest_parse_ns"`
+	IngestClassifyNs int64 `json:"ingest_classify_ns"`
+	IngestTrainNs    int64 `json:"ingest_train_ns"`
+	IngestEncodeNs   int64 `json:"ingest_encode_ns"`
+	IngestIndexNs    int64 `json:"ingest_index_ns"`
 }
 
 // Snapshot captures the current counter values.
@@ -83,6 +100,14 @@ func (m *Metrics) Snapshot() Snapshot {
 	if n := m.latCount.Load(); n > 0 {
 		s.LatencyMeanMs = float64(m.latSumUs.Load()) / float64(n) / 1000
 	}
+	s.DecodeScratchGets, s.DecodeScratchAllocs = storage.ScratchStats()
+	bt := storage.LoadBuildTotals()
+	s.IngestLoads = bt.Loads
+	s.IngestParseNs = bt.ParseNs
+	s.IngestClassifyNs = bt.ClassifyNs
+	s.IngestTrainNs = bt.TrainNs
+	s.IngestEncodeNs = bt.EncodeNs
+	s.IngestIndexNs = bt.IndexNs
 	return s
 }
 
@@ -101,6 +126,21 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("xquecd_plan_cache_misses_total", "Plan cache misses.", m.PlanMisses.Load())
 	counter("xquecd_result_items_total", "Result items returned.", m.ResultItems.Load())
 	counter("xquecd_result_bytes_total", "Serialized result bytes returned.", m.ResultBytes.Load())
+
+	gets, allocs := storage.ScratchStats()
+	counter("xquecd_decode_scratch_gets_total", "Pooled decode buffers handed out.", gets)
+	counter("xquecd_decode_scratch_allocs_total", "Decode buffers freshly allocated (pool misses).", allocs)
+
+	bt := storage.LoadBuildTotals()
+	counter("xquecd_ingest_loads_total", "Repositories compiled in this process.", bt.Loads)
+	seconds := func(name, help string, ns int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, float64(ns)/1e9)
+	}
+	seconds("xquecd_ingest_parse_seconds_total", "Ingestion time in the serial SAX pass.", bt.ParseNs)
+	seconds("xquecd_ingest_classify_seconds_total", "Ingestion time in container type inference.", bt.ClassifyNs)
+	seconds("xquecd_ingest_train_seconds_total", "Ingestion time training source models.", bt.TrainNs)
+	seconds("xquecd_ingest_encode_seconds_total", "Ingestion time encoding and sorting containers.", bt.EncodeNs)
+	seconds("xquecd_ingest_index_seconds_total", "Ingestion time bulk-loading the B+ index.", bt.IndexNs)
 
 	fmt.Fprintf(w, "# HELP xquecd_in_flight_queries Queries currently evaluating.\n")
 	fmt.Fprintf(w, "# TYPE xquecd_in_flight_queries gauge\nxquecd_in_flight_queries %d\n", m.InFlight.Load())

@@ -164,18 +164,19 @@ var ErrNeedsDecompression = fmt.Errorf("storage: predicate requires decompressio
 // the bounds — the case-(iii) decompression the cost model charges,
 // but logarithmic instead of a full container scan.
 func (c *Container) FindRangeDecoding(loPlain []byte, loInclusive bool, hiPlain []byte, hiInclusive bool) (int, int, error) {
-	var buf []byte
+	sc := NewScratch()
+	defer sc.Release()
 	var decodeErr error
 	decodeAt := func(i int) []byte {
 		if decodeErr != nil {
 			return nil
 		}
-		var err error
-		buf, err = c.codec.Decode(buf[:0], c.recs[i].Value)
+		v, err := c.DecodeScratch(sc, i)
 		if err != nil {
 			decodeErr = err
+			return nil
 		}
-		return buf
+		return v
 	}
 	lo := 0
 	if loPlain != nil {
@@ -207,49 +208,53 @@ func (c *Container) FindRangeDecoding(loPlain []byte, loInclusive bool, hiPlain 
 // returned mapping m gives, for document-order position j, the record
 // index after sorting — the loader uses it to fill node ValueRefs.
 func buildContainer(path string, kind ValueKind, group string, codec compress.Codec, plains [][]byte, owners []NodeID) (*Container, []int32, error) {
-	type tagged struct {
-		plain []byte
-		pos   int32
-	}
-	items := make([]tagged, len(plains))
-	for i := range plains {
-		items[i] = tagged{plains[i], int32(i)}
-	}
-	// Sort by value order. For typed kinds the encoded form is what
-	// defines order, but typed codecs are order-preserving over valid
-	// values, so sorting by encoding is equivalent and simpler: encode
-	// first, then sort. Do the same for all codecs: OP codecs sort by
-	// encoding; order-agnostic codecs sort by plaintext.
-	op := codec.Props().OrderPreserving
-	encs := make([][]byte, len(plains))
+	n := len(plains)
 	// Duplicate values (enumerations, flags, repeated names) are common;
-	// encode each distinct plaintext once.
-	cache := make(map[string][]byte, len(plains)/2+1)
-	for i := range plains {
-		if e, ok := cache[string(plains[i])]; ok {
-			encs[i] = e
-			continue
-		}
-		e, err := codec.Encode(nil, plains[i])
-		if err != nil {
-			return nil, nil, fmt.Errorf("container %s: encode %q: %w", path, plains[i], err)
-		}
-		encs[i] = e
-		cache[string(plains[i])] = e
+	// encode each distinct plaintext once. Dedup by sorting rather than a
+	// map[string][]byte cache: the map store allocated a string key per
+	// distinct value, and the container needs a value-order sort anyway.
+	// A stable sort by plaintext groups duplicates into runs; the run
+	// head is encoded once and the encoding shared across the run.
+	byPlain := make([]int32, n)
+	for i := range byPlain {
+		byPlain[i] = int32(i)
 	}
-	sort.SliceStable(items, func(a, b int) bool {
-		ia, ib := items[a], items[b]
-		if op {
-			return bytes.Compare(encs[ia.pos], encs[ib.pos]) < 0
-		}
-		return bytes.Compare(ia.plain, ib.plain) < 0
+	sort.SliceStable(byPlain, func(a, b int) bool {
+		return bytes.Compare(plains[byPlain[a]], plains[byPlain[b]]) < 0
 	})
+	encs := make([][]byte, n)
+	var run []byte
+	for k, pos := range byPlain {
+		if k == 0 || !bytes.Equal(plains[pos], plains[byPlain[k-1]]) {
+			e, err := codec.Encode(nil, plains[pos])
+			if err != nil {
+				return nil, nil, fmt.Errorf("container %s: encode %q: %w", path, plains[pos], err)
+			}
+			run = e
+		}
+		encs[pos] = run
+	}
+	// Final value order. Order-agnostic codecs sort by plaintext, which
+	// byPlain already is. Order-preserving codecs sort by encoding: typed
+	// codecs preserve value-domain order (e.g. 9 < 10 as integers, but
+	// "10" < "9" as bytes), so the plaintext order must be re-sorted.
+	// Encodings are injective, so equal encodings mean equal plaintexts,
+	// and stacking the two stable sorts leaves ties in document order —
+	// the same result as one stable sort of document order by the final
+	// key.
+	op := codec.Props().OrderPreserving
+	order := byPlain
+	if op {
+		sort.SliceStable(order, func(a, b int) bool {
+			return bytes.Compare(encs[order[a]], encs[order[b]]) < 0
+		})
+	}
 	c := &Container{Path: path, Kind: kind, Group: group, codec: codec}
-	c.recs = make([]Record, len(items))
-	mapping := make([]int32, len(items))
-	for i, it := range items {
-		c.recs[i] = Record{Value: encs[it.pos], Owner: owners[it.pos]}
-		mapping[it.pos] = int32(i)
+	c.recs = make([]Record, n)
+	mapping := make([]int32, n)
+	for i, pos := range order {
+		c.recs[i] = Record{Value: encs[pos], Owner: owners[pos]}
+		mapping[pos] = int32(i)
 	}
 	if !op {
 		c.eqOrder = make([]int32, len(c.recs))

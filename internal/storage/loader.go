@@ -2,7 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"time"
 
 	"xquec/internal/btree"
 	"xquec/internal/compress"
@@ -17,15 +19,35 @@ type LoadOptions struct {
 	// round-trip, otherwise one ALM source model per container — the
 	// paper's default when no workload is available.
 	Plan *CompressionPlan
+	// Parallelism is the worker count for the fan-out phase of the
+	// pipeline: per-container type inference, source-model training
+	// (ALM partition mining, Huffman/Hu-Tucker tree building), value
+	// encoding and record sorting. 0 means GOMAXPROCS; 1 forces the
+	// serial path. Serial and parallel builds produce byte-identical
+	// repositories: every unit of fan-out work is a pure function of its
+	// inputs and results are placed by index, not completion order.
+	Parallelism int
 }
 
 // Load parses an XML document and builds the compressed repository.
+//
+// Ingestion is a two-phase pipeline. Phase one is the serial SAX pass:
+// it assembles the structure tree, the structure summary and the
+// per-container plaintext value lists in document order (§2.2 makes
+// each root-to-leaf path an independent compression unit, but document
+// order itself is inherently sequential). Phase two fans out over those
+// independent units on a worker pool — see buildContainers.
 func Load(src []byte, opts LoadOptions) (*Store, error) {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	s := &Store{
 		nameIdx:      map[string]uint16{},
 		Models:       map[string]GroupModel{},
 		OriginalSize: len(src),
 	}
+	s.Build.Parallelism = par
 	sum := &Summary{}
 	s.Sum = sum
 
@@ -54,6 +76,7 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 		return NodeID(len(s.Nodes))
 	}
 
+	phase := time.Now()
 	p := xmlparser.NewParser(src)
 	err := p.Parse(func(ev *xmlparser.Event) error {
 		switch ev.Kind {
@@ -107,11 +130,13 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 	if len(s.Nodes) == 0 {
 		return nil, fmt.Errorf("storage: document has no elements")
 	}
+	s.Build.Parse = time.Since(phase)
 
-	if err := s.buildContainers(sum, values, opts.Plan); err != nil {
+	if err := s.buildContainers(sum, values, opts.Plan, par); err != nil {
 		return nil, err
 	}
 
+	phase = time.Now()
 	// Redundant B+ index over node IDs.
 	keys := make([]uint64, len(s.Nodes))
 	vals := make([]int64, len(s.Nodes))
@@ -128,13 +153,30 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 			sn.AvgFan = float64(fanTotal[sn.ID]) / float64(sn.Count)
 		}
 	}
+	s.Build.Index = time.Since(phase)
+	addBuildTotals(s.Build)
 	return s, nil
 }
 
 // buildContainers infers container types, resolves the compression plan
 // into source-model groups, trains codecs, builds sorted containers and
 // fixes up the placeholder value refs in the structure tree.
-func (s *Store) buildContainers(sum *Summary, values map[int32]*valueList0, plan *CompressionPlan) error {
+//
+// This is the fan-out phase of the pipeline. Three stages run on the
+// worker pool, each over independent units:
+//
+//  1. classify: per container, typed-codec round-trip inference
+//     (numeric trainers validate on the container's own values only);
+//  2. train: per source-model group, codec training on the union of the
+//     group members' values (training is confined to one goroutine per
+//     group — see DESIGN.md, "codec concurrency contract");
+//  3. encode: per container, value encoding + record sorting.
+//
+// Between stages the grouping and model registration run serially in
+// summary-ID order, and every parallel stage writes results into a
+// slice cell keyed by its input index, so the container order, group
+// order and all persisted bytes are identical for any worker count.
+func (s *Store) buildContainers(sum *Summary, values map[int32]*valueList0, plan *CompressionPlan, par int) error {
 	sumIDs := make([]int32, 0, len(values))
 	for id := range values {
 		sumIDs = append(sumIDs, id)
@@ -160,45 +202,70 @@ func (s *Store) buildContainers(sum *Summary, values map[int32]*valueList0, plan
 		}
 	}
 
+	// Stage 1 (parallel): classification. For each container, decide
+	// planned / typed / default-string. Type inference trains typed
+	// codecs on the container's values — pure work on private inputs.
+	phase := time.Now()
+	type classified struct {
+		path  string
+		kind  ValueKind
+		typed compress.Codec // non-nil when a typed codec round-trips
+		group string         // plan group, "" if unplanned
+	}
+	cls := make([]classified, len(sumIDs))
+	err := forEachIndex(par, len(sumIDs), func(i int) error {
+		id := sumIDs[i]
+		path := sum.NodeByID(id).Path()
+		cls[i] = classified{path: path, kind: KindString}
+		if g, planned := pathGroup[path]; planned {
+			// The plan owns this container: treat as string.
+			cls[i].group = g
+			return nil
+		}
+		if kind, codec := inferTyped(values[id].plains); codec != nil {
+			cls[i].kind = kind
+			cls[i].typed = codec
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.Build.Classify = time.Since(phase)
+
+	// Serial: assemble groups in summary-ID order (member order decides
+	// the training sample order, so it must not depend on scheduling).
 	type member struct {
 		sumID int32
 		path  string
 	}
 	groups := map[string][]member{}
-	kinds := map[int32]ValueKind{}
-	typedCodec := map[int32]compress.Codec{}
-
-	for _, id := range sumIDs {
-		sn := sum.NodeByID(id)
-		path := sn.Path()
-		vl := values[id]
-		if g, planned := pathGroup[path]; planned {
-			// The plan owns this container: treat as string.
-			groups[g] = append(groups[g], member{id, path})
-			kinds[id] = KindString
-			continue
+	for i, id := range sumIDs {
+		c := &cls[i]
+		switch {
+		case c.group != "":
+			groups[c.group] = append(groups[c.group], member{id, c.path})
+		case c.typed != nil:
+			// typed containers bypass group training
+		default:
+			g := "path:" + c.path
+			groups[g] = append(groups[g], member{id, c.path})
+			groupAlg[g] = defaultAlg
 		}
-		// Type inference: int, then date, then float; else string.
-		if kind, codec := inferTyped(vl.plains); codec != nil {
-			kinds[id] = kind
-			typedCodec[id] = codec
-			continue
-		}
-		kinds[id] = KindString
-		g := "path:" + path
-		groups[g] = append(groups[g], member{id, path})
-		groupAlg[g] = defaultAlg
 	}
-
 	groupNames := make([]string, 0, len(groups))
 	for g := range groups {
 		groupNames = append(groupNames, g)
 	}
 	sort.Strings(groupNames)
 
-	// Train one codec per group on the union of the members' values.
-	groupCodec := map[string]compress.Codec{}
-	for _, g := range groupNames {
+	// Stage 2 (parallel): train one codec per group on the union of the
+	// members' values. Each training run owns its group exclusively; the
+	// shared `values` map is only read.
+	phase = time.Now()
+	groupCodecs := make([]compress.Codec, len(groupNames))
+	err = forEachIndex(par, len(groupNames), func(gi int) error {
+		g := groupNames[gi]
 		alg := groupAlg[g]
 		if alg == "" {
 			alg = defaultAlg
@@ -215,39 +282,68 @@ func (s *Store) buildContainers(sum *Summary, values map[int32]*valueList0, plan
 		if err != nil {
 			return fmt.Errorf("storage: training %s model for group %q: %w", alg, g, err)
 		}
-		groupCodec[g] = codec
-		s.Models[g] = GroupModel{Algorithm: alg, Codec: codec}
+		groupCodecs[gi] = codec
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-
-	// Build containers in summary-ID order and remember the fix-up maps.
-	contOf := map[int32]int32{}
-	mappings := map[int32][]int32{}
-	for _, id := range sumIDs {
-		sn := sum.NodeByID(id)
-		vl := values[id]
-		var (
-			codec compress.Codec
-			group string
-		)
-		if c := typedCodec[id]; c != nil {
-			codec = c
-			group = "typed:" + c.Name()
-			if _, ok := s.Models[group]; !ok {
-				s.Models[group] = GroupModel{Algorithm: c.Name(), Codec: c}
-			}
-		} else {
-			group = pathGroupName(pathGroup, sn.Path())
-			codec = groupCodec[group]
+	groupCodec := map[string]compress.Codec{}
+	for gi, g := range groupNames {
+		alg := groupAlg[g]
+		if alg == "" {
+			alg = defaultAlg
 		}
-		cont, mapping, err := buildContainer(sn.Path(), kinds[id], group, codec, vl.plains, vl.owners)
+		groupCodec[g] = groupCodecs[gi]
+		s.Models[g] = GroupModel{Algorithm: alg, Codec: groupCodecs[gi]}
+	}
+	s.Build.Train = time.Since(phase)
+
+	// Stage 3 (parallel): encode + sort each container. The codec and
+	// group per container are resolved serially first, including the
+	// typed-model registration (a shared-map write).
+	phase = time.Now()
+	contCodec := make([]compress.Codec, len(sumIDs))
+	contGroup := make([]string, len(sumIDs))
+	for i := range sumIDs {
+		c := &cls[i]
+		if c.typed != nil {
+			contCodec[i] = c.typed
+			contGroup[i] = "typed:" + c.typed.Name()
+			if _, ok := s.Models[contGroup[i]]; !ok {
+				s.Models[contGroup[i]] = GroupModel{Algorithm: c.typed.Name(), Codec: c.typed}
+			}
+			continue
+		}
+		contGroup[i] = pathGroupName(pathGroup, c.path)
+		contCodec[i] = groupCodec[contGroup[i]]
+	}
+	conts := make([]*Container, len(sumIDs))
+	mappingByIdx := make([][]int32, len(sumIDs))
+	err = forEachIndex(par, len(sumIDs), func(i int) error {
+		vl := values[sumIDs[i]]
+		cont, mapping, err := buildContainer(cls[i].path, cls[i].kind, contGroup[i], contCodec[i], vl.plains, vl.owners)
 		if err != nil {
 			return err
 		}
+		conts[i] = cont
+		mappingByIdx[i] = mapping
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Serial: append containers in summary-ID order and remember the
+	// fix-up maps.
+	contOf := map[int32]int32{}
+	mappings := map[int32][]int32{}
+	for i, id := range sumIDs {
 		idx := int32(len(s.Containers))
-		s.Containers = append(s.Containers, cont)
-		sn.Container = idx
+		s.Containers = append(s.Containers, conts[i])
+		sum.NodeByID(id).Container = idx
 		contOf[id] = idx
-		mappings[id] = mapping
+		mappings[id] = mappingByIdx[i]
 	}
 
 	// Fix up the placeholder value refs.
@@ -261,6 +357,7 @@ func (s *Store) buildContainers(sum *Summary, values map[int32]*valueList0, plan
 			}
 		}
 	}
+	s.Build.Encode = time.Since(phase)
 	return nil
 }
 

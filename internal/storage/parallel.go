@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// forEachIndex runs fn(0..n-1) on up to `workers` goroutines, pulling
+// indexes from a shared counter. The first error cancels the remaining
+// work: workers finish the item in hand and stop claiming new ones.
+// Result placement is the caller's job (write into a slice cell per
+// index), which is what keeps parallel builds deterministic: the output
+// order is the index order, never the completion order.
+func forEachIndex(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  atomic.Int64
+		stop  atomic.Bool
+		once  sync.Once
+		first error
+		wg    sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() { first = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// BuildStats records the wall-clock time Load spent in each phase of the
+// two-phase ingestion pipeline. Parse is the serial SAX pass; Classify,
+// Train and Encode are the parallel fan-out (type inference, source-model
+// training, value encoding + container sorting); Index is the serial
+// B+ bulk-load and statistics pass. Not persisted: repositories opened
+// from disk report a zero BuildStats.
+type BuildStats struct {
+	Parallelism int
+	Parse       time.Duration
+	Classify    time.Duration
+	Train       time.Duration
+	Encode      time.Duration
+	Index       time.Duration
+}
+
+// Total returns the summed phase time.
+func (b BuildStats) Total() time.Duration {
+	return b.Parse + b.Classify + b.Train + b.Encode + b.Index
+}
+
+// buildTotals accumulates phase times across every Load in the process,
+// so long-running services (xquecd) can export ingestion timings as
+// monotonic counters.
+var buildTotals struct {
+	loads                                 atomic.Int64
+	parse, classify, train, encode, index atomic.Int64
+}
+
+// BuildTotals is the process-wide accumulation of BuildStats over all
+// Load calls, for metrics export.
+type BuildTotals struct {
+	Loads                                           int64
+	ParseNs, ClassifyNs, TrainNs, EncodeNs, IndexNs int64
+}
+
+// LoadBuildTotals returns the process-wide ingestion phase totals.
+func LoadBuildTotals() BuildTotals {
+	return BuildTotals{
+		Loads:      buildTotals.loads.Load(),
+		ParseNs:    buildTotals.parse.Load(),
+		ClassifyNs: buildTotals.classify.Load(),
+		TrainNs:    buildTotals.train.Load(),
+		EncodeNs:   buildTotals.encode.Load(),
+		IndexNs:    buildTotals.index.Load(),
+	}
+}
+
+func addBuildTotals(b BuildStats) {
+	buildTotals.loads.Add(1)
+	buildTotals.parse.Add(int64(b.Parse))
+	buildTotals.classify.Add(int64(b.Classify))
+	buildTotals.train.Add(int64(b.Train))
+	buildTotals.encode.Add(int64(b.Encode))
+	buildTotals.index.Add(int64(b.Index))
+}

@@ -38,6 +38,10 @@ type Store struct {
 
 	// OriginalSize is the byte size of the loaded XML document.
 	OriginalSize int
+
+	// Build records the ingestion pipeline's phase timings and worker
+	// count. Zero for repositories opened from disk.
+	Build BuildStats
 }
 
 // GroupModel is one shared source model.

@@ -61,6 +61,11 @@ type Options struct {
 	SearchSeed int64
 	// Plan overrides the cost model entirely.
 	Plan *CompressionPlan
+	// Parallelism is the worker count for the compressor's fan-out phase
+	// (codec training, value encoding, container sorting). 0 means
+	// GOMAXPROCS, 1 forces the serial path; any setting produces a
+	// byte-identical repository.
+	Parallelism int
 }
 
 // Database is a compressed, queryable XML document — the paper's
@@ -97,7 +102,7 @@ func Compress(doc []byte, opts Options) (*Database, error) {
 		}
 		plan = p
 	}
-	s, err := storage.Load(doc, storage.LoadOptions{Plan: plan})
+	s, err := storage.Load(doc, storage.LoadOptions{Plan: plan, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +263,13 @@ func (db *Database) Stats() Stats {
 		InMemoryTotal:   f.Total(),
 		InMemoryMinimal: f.Minimal(),
 	}
+}
+
+// IngestStats reports the compressor pipeline's phase timings and
+// worker count for this database. Zero for databases opened from disk —
+// the timings describe a Compress run, not the repository itself.
+func (db *Database) IngestStats() storage.BuildStats {
+	return db.store.Build
 }
 
 // Stats is a database summary.
