@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-serve bench bench-paper
+.PHONY: check build test race vet bench-serve bench bench-query bench-paper
 
 check: vet build race bench ## tier-1: vet + build + race-clean tests + bench smoke
 
@@ -26,11 +26,19 @@ bench-serve:
 # Ingestion + decode + serving benchmarks with allocation counts; each
 # run appends one JSON record to BENCH_ingest.json for cross-commit
 # comparison.
-bench:
+bench: bench-query
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
 	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
 	| /tmp/benchjson -o BENCH_ingest.json -label ingest+decode+serve
+
+# Streaming result-path benchmarks: time-to-first-item at 10×-apart
+# cardinalities (must stay flat) and WriteXML-vs-SerializeXML
+# allocation counts. Appends to BENCH_query.json.
+bench-query:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkFirstResult|BenchmarkWriteXML|BenchmarkSerializeXML' -benchmem . \
+	| /tmp/benchjson -o BENCH_query.json -label query-streaming
 
 # Full paper benchmark suite (scaled-down in-test versions).
 bench-paper:

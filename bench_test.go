@@ -12,6 +12,7 @@ package xquec
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"xquec/internal/datagen"
@@ -215,7 +216,7 @@ func BenchmarkAblationJoinStrategy(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := res.SerializeXML(); err != nil {
+				if _, err := res.WriteXML(io.Discard); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,14 +4,20 @@
 // Usage:
 //
 //	xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
-//	xquec query    [-q query | -f query.xq] [-timeout 30s] repo.xqc
+//	xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] repo.xqc
 //	xquec stats    repo.xqc
 //	xquec decompress repo.xqc        # reconstruct the XML
 //
-// Exit codes: 0 success, 1 error, 2 usage, 3 query timeout.
+// Query results stream to stdout as they are produced: the first item
+// prints before the full evaluation finishes, and -n stops both the
+// output and the evaluation after that many items.
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 query timeout,
+// 4 query parse error, 5 corrupt repository.
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -23,9 +29,26 @@ import (
 	"xquec/internal/storage"
 )
 
-// exitTimeout is the exit code for a query aborted by -timeout,
-// distinct from general errors so callers can retry or re-budget.
-const exitTimeout = 3
+// Exit codes beyond the conventional 0/1/2, distinct so scripts can
+// tell a retryable timeout from a bad query from a bad repository.
+const (
+	exitTimeout = 3
+	exitParse   = 4
+	exitCorrupt = 5
+)
+
+// exitCode classifies err into the documented exit codes.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return exitTimeout
+	case errors.Is(err, xquec.ErrParse):
+		return exitParse
+	case errors.Is(err, xquec.ErrCorruptRepository):
+		return exitCorrupt
+	}
+	return 1
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -49,17 +72,14 @@ func main() {
 	if err != nil {
 		// Library errors already carry the "xquec: " package prefix.
 		fmt.Fprintln(os.Stderr, "xquec:", strings.TrimPrefix(err.Error(), "xquec: "))
-		if errors.Is(err, context.DeadlineExceeded) {
-			os.Exit(exitTimeout)
-		}
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] [-p workers] [-v] doc.xml
-  xquec query    [-q query | -f query.xq] [-timeout 30s] repo.xqc
+  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] repo.xqc
   xquec stats    repo.xqc
   xquec explain  -q query repo.xqc
   xquec decompress repo.xqc`)
@@ -113,6 +133,7 @@ func cmdQuery(args []string) error {
 	q := fs.String("q", "", "query text")
 	qf := fs.String("f", "", "file containing the query")
 	timeout := fs.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
+	maxItems := fs.Int("n", 0, "stop after this many result items (0 = all); stops evaluation too")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,12 +167,41 @@ func cmdQuery(args []string) error {
 		}
 		return err
 	}
-	out, err := res.SerializeXML()
-	if err != nil {
+	defer res.Close()
+
+	// Stream: each item is decompressed, rendered and written as it is
+	// produced, so the first result appears before evaluation finishes
+	// and -n stops the evaluation-side work, not just the printing.
+	w := bufio.NewWriter(os.Stdout)
+	count := 0
+	var buf []byte
+	for *maxItems == 0 || count < *maxItems {
+		item, ok, err := res.Next()
+		if err != nil {
+			w.Flush()
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("query exceeded %v: %w", *timeout, err)
+			}
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf, err = item.AppendXML(buf[:0])
+		if err != nil {
+			w.Flush()
+			return err
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		count++
+	}
+	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Println(out)
-	fmt.Fprintf(os.Stderr, "-- %d items\n", res.Len())
+	fmt.Fprintf(os.Stderr, "-- %d items\n", count)
 	return nil
 }
 

@@ -6,15 +6,17 @@
 // Usage:
 //
 //	xquecd -repos ./repos [-addr :8090] [-pool 8] [-plans 256]
-//	       [-timeout 30s] [-max-concurrent 16]
+//	       [-timeout 30s] [-max-concurrent 16] [-flush-items 32]
 //
 // API:
 //
-//	POST /query    {"repo":"auction","query":"count(/site//item)","timeout_ms":500}
-//	GET  /repos    available and resident repositories
-//	GET  /stats    JSON counters, pool and plan-cache statistics
-//	GET  /healthz  liveness probe
-//	GET  /metrics  Prometheus text format
+//	POST /query         {"repo":"auction","query":"count(/site//item)","timeout_ms":500}
+//	POST /query/stream  same body; chunked newline-separated items,
+//	                    flushed every -flush-items items
+//	GET  /repos         available and resident repositories
+//	GET  /stats         JSON counters, pool and plan-cache statistics
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus text format
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 	plans := flag.Int("plans", 256, "max cached query plans")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query evaluation deadline")
 	maxConc := flag.Int("max-concurrent", 0, "max concurrently evaluating queries (0 = 2×GOMAXPROCS)")
+	flushItems := flag.Int("flush-items", 32, "flush /query/stream responses every N items (first item always flushes)")
 	flag.Parse()
 
 	if *repos == "" {
@@ -52,6 +55,7 @@ func main() {
 		PlanCacheSize: *plans,
 		MaxConcurrent: *maxConc,
 		QueryTimeout:  *timeout,
+		FlushEvery:    *flushItems,
 	})
 	if err != nil {
 		log.Fatalf("xquecd: %v", err)

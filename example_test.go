@@ -3,6 +3,7 @@ package xquec_test
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"xquec"
 )
@@ -27,13 +28,45 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := res.SerializeXML()
+	defer res.Close()
+	if _, err := res.WriteXML(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	// Output:
+	// XMill
+	// XQueC
+}
+
+// Results is a pull cursor: each Next advances the evaluation by one
+// item, and stopping early skips the remaining work entirely.
+func ExampleResults_Next() {
+	db, err := xquec.Compress([]byte(catalog), xquec.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(out)
+	res, err := db.Query(`/catalog/book/title/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer res.Close()
+	for {
+		item, ok, err := res.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		xml, err := item.XML()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(xml)
+	}
 	// Output:
 	// XMill
+	// XGrind
 	// XQueC
 }
 
@@ -45,8 +78,9 @@ func ExampleDatabase_Query() {
 		log.Fatal(err)
 	}
 	res := db.MustQuery(`<summary books="{count(/catalog/book)}" total="{sum(/catalog/book/price)}"/>`)
-	out, _ := res.SerializeXML()
-	fmt.Println(out)
+	defer res.Close()
+	res.WriteXML(os.Stdout)
+	fmt.Println()
 	// Output:
 	// <summary books="3" total="115.5"/>
 }

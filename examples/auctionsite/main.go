@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"xquec"
@@ -39,15 +40,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", q.ID, err)
 		}
-		out, err := res.SerializeXML()
-		if err != nil {
+		var sb strings.Builder
+		if _, err := res.WriteXML(&sb); err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(t0)
-		preview := out
+		preview := sb.String()
 		if len(preview) > 100 {
 			preview = preview[:100] + "..."
 		}
 		fmt.Printf("%-4s %8v  %5d items  %s\n", q.ID, elapsed.Round(time.Microsecond), res.Len(), preview)
+		res.Close()
 	}
 }

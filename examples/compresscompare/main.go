@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"xquec"
 	"xquec/internal/baselines/xgrind"
@@ -77,7 +78,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		name, _ := res.SerializeXML()
-		fmt.Printf("  XQueC:       %q via one container binary search\n", name)
+		var sb strings.Builder
+		res.WriteXML(&sb)
+		res.Close()
+		fmt.Printf("  XQueC:       %q via one container binary search\n", sb.String())
 	}
 }

@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"xquec"
 )
@@ -44,18 +45,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := res.SerializeXML()
-	if err != nil {
+	defer res.Close()
+	fmt.Println("\nbooks >= 32.00 published since 2000:")
+	// Results stream: each title is decompressed and written as it is
+	// produced, so output starts before the evaluation finishes.
+	if _, err := res.WriteXML(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nbooks >= 32.00 published since 2000:")
-	fmt.Println(out)
+	fmt.Println()
 
-	// 3. Aggregate in one expression.
+	// 3. Aggregate in one expression, read through the item cursor.
 	total, err := db.Query(`sum(/library/book/price)`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sum, _ := total.SerializeXML()
-	fmt.Println("\nsum of all prices:", sum)
+	defer total.Close()
+	if item, ok, err := total.Next(); err == nil && ok {
+		sum, _ := item.XML()
+		fmt.Println("\nsum of all prices:", sum)
+	}
 }

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"time"
 
@@ -68,10 +69,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := res.SerializeXML(); err != nil {
+		if _, err := res.WriteXML(io.Discard); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-6s %8v  %d items\n", db.name, time.Since(t0).Round(time.Microsecond), res.Len())
+		res.Close()
 	}
 	fmt.Println("\nWhen the join sides share one source model (tuned), the join")
 	fmt.Println("runs as a merge join directly on compressed bytes; otherwise it")

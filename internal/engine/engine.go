@@ -79,7 +79,7 @@ func (e *Engine) Eval(expr xquery.Expr) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Items: items, store: e.store}, nil
+	return newEagerResult(items, e.store), nil
 }
 
 // checkCancel polls the engine's context. The poll is amortized: the

@@ -94,16 +94,35 @@ func planFLWOR(x *xquery.FLWOR) *flworPlan {
 	return plan
 }
 
-// evalFLWOR evaluates for/let/where/return with the §4 optimizations:
+// evalFLWOR evaluates for/let/where/return eagerly, collecting every
+// RETURN chunk into one sequence.
+func (e *Engine) evalFLWOR(x *xquery.FLWOR, env *scope) (Seq, error) {
+	var out Seq
+	err := e.flworEach(x, env, func(v Seq) error {
+		out = append(out, v...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// flworEach runs for/let/where/return with the §4 optimizations —
 // WHERE conjuncts of the form path-op-literal become compressed-domain
 // container matches restricting the FOR domain, and equality joins
 // between variables are answered by a container join index built once
 // (the compressed merge join of the Q9 plan when the sides share a
-// source model) instead of rescanning per outer binding.
-func (e *Engine) evalFLWOR(x *xquery.FLWOR, env *scope) (Seq, error) {
+// source model) instead of rescanning per outer binding — handing each
+// RETURN chunk to emit as soon as its bindings are settled. An error
+// from emit aborts the tuple walk immediately, so a streaming consumer
+// that stops pulling also stops binding evaluation (and with it every
+// predicate-side decompression for the tuples never reached). When the
+// FLWOR has an ORDER BY, chunks are necessarily buffered and emitted
+// after the sort.
+func (e *Engine) flworEach(x *xquery.FLWOR, env *scope, emit func(Seq) error) error {
 	plan := planFLWOR(x)
-	var out Seq
-	var tuples []Seq // parallel to out when ordering; each return chunk
+	var tuples []Seq // buffered return chunks when ordering
 	var keys []string
 
 	var walk func(ci int, env *scope) error
@@ -139,8 +158,7 @@ func (e *Engine) evalFLWOR(x *xquery.FLWOR, env *scope) (Seq, error) {
 				tuples = append(tuples, v)
 				return nil
 			}
-			out = append(out, v...)
-			return nil
+			return emit(v)
 		}
 		cl := x.Clauses[ci]
 		seq, ids, sums, err := e.evalBindingSeq(cl.Seq, env)
@@ -223,7 +241,7 @@ func (e *Engine) evalFLWOR(x *xquery.FLWOR, env *scope) (Seq, error) {
 		return nil
 	}
 	if err := walk(0, env); err != nil {
-		return nil, err
+		return err
 	}
 	if x.OrderBy != nil {
 		order := make([]int, len(keys))
@@ -237,10 +255,12 @@ func (e *Engine) evalFLWOR(x *xquery.FLWOR, env *scope) (Seq, error) {
 		}
 		sort.SliceStable(order, less)
 		for _, i := range order {
-			out = append(out, tuples[i]...)
+			if err := emit(tuples[i]); err != nil {
+				return err
+			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // orderKeyLess sorts numerically when both keys are numbers.

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+// streamQueries covers every top-level shape EvalStream dispatches on:
+// paths (with and without a text() tail), FLWOR (plain, nested, WHERE,
+// ORDER BY), sequences, and the eager fallbacks (aggregates,
+// constructors).
+var streamQueries = []string{
+	`document("d")/site/people/person/name/text()`,
+	`/site/people/person/@id`,
+	`/site//person/city/text()`,
+	`FOR $p IN /site/people/person WHERE $p/age >= 28 RETURN $p/name/text()`,
+	`FOR $p IN /site/people/person ORDER BY $p/age DESCENDING RETURN $p/name/text()`,
+	`FOR $a IN /site/auctions/auction
+	 LET $b := $a/buyer/@person
+	 RETURN <sale who="x">{$a/price/text()}</sale>`,
+	`(1, 2, /site/people/person/name/text(), "tail")`,
+	`count(/site//person)`,
+	`sum(/site/auctions/auction/price)`,
+	`<wrap>{/site/people/person/name}</wrap>`,
+}
+
+// TestStreamMatchesEager is the equivalence anchor: draining the
+// streaming cursor must be byte-identical to the eager evaluator for
+// every shape.
+func TestStreamMatchesEager(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	for _, q := range streamQueries {
+		want := run(t, e, q)
+		res, err := e.QueryStream(q)
+		if err != nil {
+			t.Fatalf("QueryStream(%s): %v", q, err)
+		}
+		got, err := res.SerializeXML()
+		if err != nil {
+			t.Fatalf("SerializeXML(%s): %v", q, err)
+		}
+		if got != want {
+			t.Fatalf("stream(%s) = %q, eager = %q", q, got, want)
+		}
+	}
+}
+
+func TestStreamNextAndLen(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	res, err := e.QueryStream(`/site/people/person/name/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Len before any Next materializes without losing items.
+	if res.Len() != 3 {
+		t.Fatalf("Len = %d", res.Len())
+	}
+	var names []string
+	for {
+		it, ok, err := res.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		names = append(names, it.(string))
+	}
+	if strings.Join(names, ",") != "Alice,Bob,Carol" {
+		t.Fatalf("names = %v", names)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("Len after drain = %d", res.Len())
+	}
+}
+
+// TestStreamEarlyClose stops consuming after one item; the generator
+// must unwind cleanly (no goroutine leak panics under -race, no error)
+// and the cursor must stay closed.
+func TestStreamEarlyClose(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	res, err := e.QueryStream(`FOR $p IN /site/people/person RETURN $p/name/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := res.Next(); !ok || err != nil {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := res.Next(); ok || err != nil {
+		t.Fatalf("Next after Close: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStreamEvalError(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	res, err := e.QueryStream(`$undefined`)
+	if err != nil {
+		t.Fatal(err) // construction succeeds; the error surfaces on pull
+	}
+	if _, ok, err := res.Next(); ok || err == nil {
+		t.Fatalf("Next = ok=%v err=%v, want error", ok, err)
+	}
+	// Sticky on repeat.
+	if _, _, err := res.Next(); err == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestStreamContextCancel(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := e.WithContext(ctx).QueryStream(`/site/people/person/name/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := res.Next(); !ok || err != nil {
+		t.Fatalf("first Next: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	if _, ok, err := res.Next(); ok || err != context.Canceled {
+		t.Fatalf("Next after cancel: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestStreamWriteXML(t *testing.T) {
+	e := newEngine(t, peopleDoc)
+	want := run(t, e, `/site/people/person/name/text()`)
+	res, err := e.QueryStream(`/site/people/person/name/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	n, err := res.WriteXML(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want || n != len(want) {
+		t.Fatalf("WriteXML = %q (%d bytes), want %q", sb.String(), n, len(want))
+	}
+	// Drained: another WriteXML writes nothing.
+	if n, err := res.WriteXML(io.Discard); n != 0 || err != nil {
+		t.Fatalf("second WriteXML = %d, %v", n, err)
+	}
+}

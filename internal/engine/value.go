@@ -8,7 +8,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,37 +41,230 @@ type FragAttr struct {
 // Seq is an XQuery sequence.
 type Seq []Item
 
-// Result is the outcome of a query.
+// Result is the outcome of a query: a pull-based cursor over the
+// result sequence. Results built by Eval arrive fully materialized;
+// results built by EvalStream compute items on demand, so a consumer
+// that serializes one item at a time holds O(1 item) of decompressed
+// data, and one that stops after N items (or cancels its context)
+// stops evaluation-side decoding too.
 type Result struct {
-	Items Seq
 	store *storage.Store
+	ctx   context.Context // non-nil when the evaluation is cancellable
+
+	// queue holds materialized items not yet handed out; qpos is its
+	// read cursor. Eager results start with queue fully populated.
+	queue Seq
+	qpos  int
+	// pull/stop drive the lazy source (iter.Pull2 over the push
+	// evaluator); nil for eager results and after exhaustion.
+	pull func() (Item, error, bool)
+	stop func()
+
+	served int   // items already handed out
+	err    error // sticky: first evaluation or cancellation error
+	sc     *storage.Scratch
 }
 
-// Len returns the number of items.
-func (r *Result) Len() int { return len(r.Items) }
+// newEagerResult wraps an already-evaluated sequence.
+func newEagerResult(items Seq, store *storage.Store) *Result {
+	return &Result{store: store, queue: items}
+}
 
-// SerializeXML renders the result sequence as XML/text, decompressing
-// stored nodes on output (the XMLSerialize operator). Items are
-// separated by newlines.
+// Next returns the next result item. ok is false when the sequence is
+// exhausted (or the cursor closed); a non-nil error is sticky and is
+// returned again by every later call. Item serialization — and with it
+// value decompression — is the caller's move (AppendItemXML), so
+// pulling an item is cheap until its value bytes are actually needed.
+func (r *Result) Next() (Item, bool, error) {
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	if r.qpos < len(r.queue) {
+		it := r.queue[r.qpos]
+		r.qpos++
+		r.served++
+		return it, true, nil
+	}
+	if r.pull == nil {
+		return nil, false, nil
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+			return nil, false, err
+		}
+	}
+	it, err, ok := r.pull()
+	if !ok {
+		r.release()
+		return nil, false, nil
+	}
+	if err != nil {
+		r.fail(err)
+		return nil, false, err
+	}
+	r.served++
+	return it, true, nil
+}
+
+// Close stops the evaluation and releases pooled buffers. It is
+// idempotent and safe after exhaustion; items not yet consumed are
+// dropped.
+func (r *Result) Close() error {
+	r.qpos = len(r.queue)
+	r.release()
+	return nil
+}
+
+func (r *Result) fail(err error) {
+	r.err = err
+	r.release()
+}
+
+// release stops the lazy source and returns the serialization scratch
+// to the pool.
+func (r *Result) release() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+		r.pull = nil
+	}
+	if r.sc != nil {
+		r.sc.Release()
+		r.sc = nil
+	}
+}
+
+// Prime materializes the first remaining item (if any) without
+// consuming it, surfacing errors that occur before any output — an
+// expired deadline, an unbound variable, a full aggregate evaluation —
+// at call time rather than on the first Next.
+func (r *Result) Prime() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.qpos < len(r.queue) || r.pull == nil {
+		return nil
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+			return err
+		}
+	}
+	it, err, ok := r.pull()
+	if !ok {
+		r.release()
+		return nil
+	}
+	if err != nil {
+		r.fail(err)
+		return err
+	}
+	r.queue = append(r.queue, it)
+	return nil
+}
+
+// materialize drains the lazy source into the queue without consuming
+// it, so Len can report a total while Next/WriteXML still see every
+// item.
+func (r *Result) materialize() {
+	for r.err == nil && r.pull != nil {
+		if r.ctx != nil {
+			if err := r.ctx.Err(); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		it, err, ok := r.pull()
+		if !ok {
+			r.release()
+			return
+		}
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		r.queue = append(r.queue, it)
+	}
+}
+
+// Len returns the total number of result items. On a streaming result
+// this forces the remaining evaluation (buffering the items for later
+// consumption); prefer counting Next calls when streaming.
+func (r *Result) Len() int {
+	r.materialize()
+	return r.served + len(r.queue) - r.qpos
+}
+
+// WriteXML streams the not-yet-consumed items to w as XML/text,
+// newline-separated, decompressing values one item at a time: peak
+// decompressed state is a single item regardless of result size. It
+// returns the number of bytes written. The cursor is drained (and its
+// buffers released) on return.
+func (r *Result) WriteXML(w io.Writer) (int, error) {
+	written := 0
+	first := true
+	var buf []byte
+	for {
+		it, ok, err := r.Next()
+		if err != nil {
+			return written, err
+		}
+		if !ok {
+			return written, nil
+		}
+		if !first {
+			n, err := io.WriteString(w, "\n")
+			written += n
+			if err != nil {
+				r.fail(err)
+				return written, err
+			}
+		}
+		first = false
+		buf, err = r.AppendItemXML(buf[:0], it)
+		if err != nil {
+			r.fail(err)
+			return written, err
+		}
+		n, err := w.Write(buf)
+		written += n
+		if err != nil {
+			r.fail(err)
+			return written, err
+		}
+	}
+}
+
+// SerializeXML renders the remaining items as XML/text, one item per
+// line — the only point where values are decompressed.
+//
+// Deprecated-by-doc: it materializes the whole rendering in memory;
+// prefer WriteXML (or Next + AppendItemXML) for large results.
 func (r *Result) SerializeXML() (string, error) {
 	var sb strings.Builder
-	for i, it := range r.Items {
-		if i > 0 {
-			sb.WriteByte('\n')
-		}
-		b, err := serializeItem(nil, r.store, it)
-		if err != nil {
-			return "", err
-		}
-		sb.Write(b)
+	if _, err := r.WriteXML(&sb); err != nil {
+		return "", err
 	}
 	return sb.String(), nil
 }
 
-func serializeItem(dst []byte, s *storage.Store, it Item) ([]byte, error) {
+// AppendItemXML appends the XML/text rendering of one item (as handed
+// out by Next) to dst. Decoding runs through the result's pooled
+// scratch buffer, so steady-state per-item serialization does not
+// allocate for value decompression.
+func (r *Result) AppendItemXML(dst []byte, it Item) ([]byte, error) {
+	if r.sc == nil {
+		r.sc = storage.NewScratch()
+	}
+	return serializeItem(dst, r.store, it, r.sc)
+}
+
+func serializeItem(dst []byte, s *storage.Store, it Item, sc *storage.Scratch) ([]byte, error) {
 	switch v := it.(type) {
 	case storage.NodeID:
-		return s.Serialize(dst, v)
+		return s.SerializeScratch(sc, dst, v)
 	case string:
 		return append(dst, v...), nil
 	case float64:
@@ -96,7 +291,7 @@ func serializeItem(dst []byte, s *storage.Store, it Item) ([]byte, error) {
 				dst = appendEscText(dst, str)
 				continue
 			}
-			dst, err = serializeItem(dst, s, c)
+			dst, err = serializeItem(dst, s, c, sc)
 			if err != nil {
 				return dst, err
 			}

@@ -21,10 +21,11 @@ var latencyBounds = [...]float64{
 // text exposition format with no external dependencies. All methods
 // are safe for concurrent use.
 type Metrics struct {
-	QueriesTotal atomic.Int64 // completed /query requests, any outcome
-	QueryErrors  atomic.Int64 // failed with a query/repo error
-	Timeouts     atomic.Int64 // aborted by deadline or client disconnect
-	InFlight     atomic.Int64 // gauge: queries currently evaluating
+	QueriesTotal  atomic.Int64 // completed /query requests, any outcome
+	StreamQueries atomic.Int64 // subset served via /query/stream
+	QueryErrors   atomic.Int64 // failed with a query/repo error
+	Timeouts      atomic.Int64 // aborted by deadline or client disconnect
+	InFlight      atomic.Int64 // gauge: queries currently evaluating
 
 	RepoHits   atomic.Int64 // repository pool hits
 	RepoMisses atomic.Int64 // repository pool misses (loads)
@@ -37,35 +38,58 @@ type Metrics struct {
 	latCount atomic.Int64
 	latSumUs atomic.Int64 // microseconds, to keep the sum integral
 	latBkt   [len(latencyBounds) + 1]atomic.Int64
+
+	// Time-to-first-item on /query/stream: how long a streaming client
+	// waits before the first result byte is flushed — the latency the
+	// pull-based pipeline is designed to keep flat as results grow.
+	fbCount atomic.Int64
+	fbSumUs atomic.Int64
+	fbBkt   [len(latencyBounds) + 1]atomic.Int64
 }
 
 // ObserveLatency records one query's wall-clock duration.
 func (m *Metrics) ObserveLatency(d time.Duration) {
-	m.latCount.Add(1)
-	m.latSumUs.Add(d.Microseconds())
+	observe(d, &m.latCount, &m.latSumUs, &m.latBkt)
+}
+
+// ObserveFirstByte records a streaming query's time-to-first-item.
+func (m *Metrics) ObserveFirstByte(d time.Duration) {
+	observe(d, &m.fbCount, &m.fbSumUs, &m.fbBkt)
+}
+
+func observe(d time.Duration, count, sumUs *atomic.Int64, bkt *[len(latencyBounds) + 1]atomic.Int64) {
+	count.Add(1)
+	sumUs.Add(d.Microseconds())
 	s := d.Seconds()
 	for i, b := range latencyBounds {
 		if s <= b {
-			m.latBkt[i].Add(1)
+			bkt[i].Add(1)
 			return
 		}
 	}
-	m.latBkt[len(latencyBounds)].Add(1)
+	bkt[len(latencyBounds)].Add(1)
 }
 
 // Snapshot is a point-in-time JSON-friendly view of the counters.
 type Snapshot struct {
-	QueriesTotal  int64   `json:"queries_total"`
-	QueryErrors   int64   `json:"query_errors"`
-	Timeouts      int64   `json:"timeouts"`
-	InFlight      int64   `json:"in_flight"`
-	RepoHits      int64   `json:"repo_hits"`
-	RepoMisses    int64   `json:"repo_misses"`
-	PlanHits      int64   `json:"plan_hits"`
-	PlanMisses    int64   `json:"plan_misses"`
-	ResultItems   int64   `json:"result_items"`
-	ResultBytes   int64   `json:"result_bytes"`
-	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	QueriesTotal    int64   `json:"queries_total"`
+	StreamQueries   int64   `json:"stream_queries"`
+	QueryErrors     int64   `json:"query_errors"`
+	Timeouts        int64   `json:"timeouts"`
+	InFlight        int64   `json:"in_flight"`
+	RepoHits        int64   `json:"repo_hits"`
+	RepoMisses      int64   `json:"repo_misses"`
+	PlanHits        int64   `json:"plan_hits"`
+	PlanMisses      int64   `json:"plan_misses"`
+	ResultItems     int64   `json:"result_items"`
+	ResultBytes     int64   `json:"result_bytes"`
+	LatencyMeanMs   float64 `json:"latency_mean_ms"`
+	FirstByteMeanMs float64 `json:"first_byte_mean_ms"`
+
+	// ValueDecodes counts individual container-value decompressions
+	// (process-wide): with pull-based results it advances only for items
+	// consumers actually read.
+	ValueDecodes int64 `json:"value_decodes"`
 
 	// Decode scratch-pool traffic (process-wide, from internal/storage):
 	// gets is how many pooled decode buffers were handed out, allocs how
@@ -97,9 +121,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		ResultItems:  m.ResultItems.Load(),
 		ResultBytes:  m.ResultBytes.Load(),
 	}
+	s.StreamQueries = m.StreamQueries.Load()
 	if n := m.latCount.Load(); n > 0 {
 		s.LatencyMeanMs = float64(m.latSumUs.Load()) / float64(n) / 1000
 	}
+	if n := m.fbCount.Load(); n > 0 {
+		s.FirstByteMeanMs = float64(m.fbSumUs.Load()) / float64(n) / 1000
+	}
+	s.ValueDecodes = storage.DecodeOps()
 	s.DecodeScratchGets, s.DecodeScratchAllocs = storage.ScratchStats()
 	bt := storage.LoadBuildTotals()
 	s.IngestLoads = bt.Loads
@@ -118,6 +147,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	counter("xquecd_queries_total", "Queries served (any outcome).", m.QueriesTotal.Load())
+	counter("xquecd_stream_queries_total", "Queries served via /query/stream.", m.StreamQueries.Load())
 	counter("xquecd_query_errors_total", "Queries failed with an error.", m.QueryErrors.Load())
 	counter("xquecd_query_timeouts_total", "Queries aborted by deadline or disconnect.", m.Timeouts.Load())
 	counter("xquecd_repo_cache_hits_total", "Repository pool hits.", m.RepoHits.Load())
@@ -127,6 +157,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("xquecd_result_items_total", "Result items returned.", m.ResultItems.Load())
 	counter("xquecd_result_bytes_total", "Serialized result bytes returned.", m.ResultBytes.Load())
 
+	counter("xquecd_value_decodes_total", "Individual container-value decompressions.", storage.DecodeOps())
 	gets, allocs := storage.ScratchStats()
 	counter("xquecd_decode_scratch_gets_total", "Pooled decode buffers handed out.", gets)
 	counter("xquecd_decode_scratch_allocs_total", "Decode buffers freshly allocated (pool misses).", allocs)
@@ -145,16 +176,18 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP xquecd_in_flight_queries Queries currently evaluating.\n")
 	fmt.Fprintf(w, "# TYPE xquecd_in_flight_queries gauge\nxquecd_in_flight_queries %d\n", m.InFlight.Load())
 
-	fmt.Fprintf(w, "# HELP xquecd_query_duration_seconds Query latency.\n")
-	fmt.Fprintf(w, "# TYPE xquecd_query_duration_seconds histogram\n")
-	cum := int64(0)
-	for i, b := range latencyBounds {
-		cum += m.latBkt[i].Load()
-		fmt.Fprintf(w, "xquecd_query_duration_seconds_bucket{le=%q} %d\n",
-			strconv.FormatFloat(b, 'g', -1, 64), cum)
+	histogram := func(name, help string, count, sumUs *atomic.Int64, bkt *[len(latencyBounds) + 1]atomic.Int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		cum := int64(0)
+		for i, b := range latencyBounds {
+			cum += bkt[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		}
+		cum += bkt[len(latencyBounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(sumUs.Load())/1e6)
+		fmt.Fprintf(w, "%s_count %d\n", name, count.Load())
 	}
-	cum += m.latBkt[len(latencyBounds)].Load()
-	fmt.Fprintf(w, "xquecd_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "xquecd_query_duration_seconds_sum %g\n", float64(m.latSumUs.Load())/1e6)
-	fmt.Fprintf(w, "xquecd_query_duration_seconds_count %d\n", m.latCount.Load())
+	histogram("xquecd_query_duration_seconds", "Query latency.", &m.latCount, &m.latSumUs, &m.latBkt)
+	histogram("xquecd_first_byte_seconds", "Streaming time-to-first-item.", &m.fbCount, &m.fbSumUs, &m.fbBkt)
 }

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"xquec"
 )
 
 // Config configures a Server.
@@ -29,6 +31,10 @@ type Config struct {
 	QueryTimeout time.Duration
 	// MaxBodyBytes caps the /query request body (default 1 MiB).
 	MaxBodyBytes int64
+	// FlushEvery is the item interval between forced flushes on
+	// /query/stream after the first item (which always flushes, to bound
+	// time-to-first-byte). Default 32.
+	FlushEvery int
 }
 
 func (c *Config) fillDefaults() {
@@ -46,6 +52,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 32
 	}
 }
 
@@ -90,14 +99,16 @@ func (s *Server) PlanCache() *PlanCache { return s.plans }
 
 // Handler returns the HTTP API:
 //
-//	POST /query    {"repo": name, "query": text, "timeout_ms": n?}
-//	GET  /repos    available + resident repositories
-//	GET  /stats    JSON counters and cache statistics
-//	GET  /healthz  liveness probe
-//	GET  /metrics  Prometheus text format
+//	POST /query         {"repo": name, "query": text, "timeout_ms": n?}
+//	POST /query/stream  same body; newline-separated items, chunked
+//	GET  /repos         available + resident repositories
+//	GET  /stats         JSON counters and cache statistics
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus text format
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query/stream", s.handleQueryStream)
 	mux.HandleFunc("/repos", s.handleRepos)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -142,42 +153,81 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// statusFor maps a query error to an HTTP status through the library's
+// typed sentinels: parse errors are the client's fault (400), evaluation
+// errors mean the query was well-formed but failed against this data
+// (422), and a repository that fails to decode is a server-side fault
+// (500). Anything untagged falls back to 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, xquec.ErrParse):
+		return http.StatusBadRequest
+	case errors.Is(err, xquec.ErrCorruptRepository):
+		return http.StatusInternalServerError
+	case errors.Is(err, xquec.ErrEval):
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
+// decodeRequest parses and validates the /query body, answering the
+// request itself on failure. ok is false when a response was written.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (req QueryRequest, ok bool) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST required"})
-		return
+		return req, false
 	}
-	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
-		return
+		return req, false
 	}
 	if req.Repo == "" || strings.TrimSpace(req.Query) == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"repo and query are required"})
-		return
+		return req, false
 	}
+	return req, true
+}
 
+// timeoutFor is the effective deadline: the server's, optionally
+// lowered (never raised) by the request.
+func (s *Server) timeoutFor(req QueryRequest) time.Duration {
 	timeout := s.cfg.QueryTimeout
 	if req.TimeoutMs > 0 {
 		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
+	return timeout
+}
 
-	// Admission: wait for an evaluation slot, giving up if the caller's
-	// deadline expires in the queue.
+// admit waits for an evaluation slot, answering 503 if the caller's
+// deadline expires in the queue. release is non-nil iff admitted.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func()) {
 	select {
 	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
+		return func() { <-s.sem }
 	case <-ctx.Done():
 		s.metrics.QueriesTotal.Add(1)
 		s.metrics.Timeouts.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"queue wait exceeded deadline"})
+		return nil
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
 		return
 	}
+	timeout := s.timeoutFor(req)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	release := s.admit(ctx, w)
+	if release == nil {
+		return
+	}
+	defer release()
 
 	started := time.Now()
 	s.metrics.InFlight.Add(1)
@@ -202,16 +252,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runQuery resolves the repository and plan through the caches and
-// evaluates. The returned status is used only when err is non-nil and
-// not a cancellation.
-func (s *Server) runQuery(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
+// resolve turns a request into a running result cursor via the
+// repository pool and plan cache. The returned status is used only when
+// err is non-nil and not a cancellation.
+func (s *Server) resolve(ctx context.Context, req QueryRequest) (res *xquec.Results, planCached, repoCached bool, status int, err error) {
 	db, repoCached, err := s.pool.Get(req.Repo)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil, http.StatusNotFound, fmt.Errorf("unknown repository %q", req.Repo)
+			return nil, false, false, http.StatusNotFound, fmt.Errorf("unknown repository %q", req.Repo)
 		}
-		return nil, http.StatusBadRequest, err
+		return nil, false, false, statusFor(err), err
 	}
 	if repoCached {
 		s.metrics.RepoHits.Add(1)
@@ -220,26 +270,39 @@ func (s *Server) runQuery(ctx context.Context, req QueryRequest) (*QueryResponse
 	}
 
 	prep := s.plans.Get(req.Repo, req.Query)
-	planCached := prep != nil
+	planCached = prep != nil
 	if planCached {
 		s.metrics.PlanHits.Add(1)
 	} else {
 		s.metrics.PlanMisses.Add(1)
 		prep, err = db.Prepare(req.Query)
 		if err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, planCached, repoCached, statusFor(err), err
 		}
 		s.plans.Put(req.Repo, req.Query, prep)
 	}
 
-	res, err := prep.RunContext(ctx)
+	res, err = prep.RunContext(ctx)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, planCached, repoCached, statusFor(err), err
 	}
-	out, err := res.SerializeXML()
+	return res, planCached, repoCached, http.StatusOK, nil
+}
+
+// runQuery resolves and evaluates, streaming the result through the
+// cursor into the response buffer (one item decompressed at a time)
+// even though /query answers with a single JSON object.
+func (s *Server) runQuery(ctx context.Context, req QueryRequest) (*QueryResponse, int, error) {
+	res, planCached, repoCached, status, err := s.resolve(ctx, req)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, status, err
 	}
+	defer res.Close()
+	var sb strings.Builder
+	if _, err := res.WriteXML(&sb); err != nil {
+		return nil, statusFor(err), err
+	}
+	out := sb.String()
 	s.metrics.ResultItems.Add(int64(res.Len()))
 	s.metrics.ResultBytes.Add(int64(len(out)))
 	return &QueryResponse{

@@ -54,6 +54,7 @@ func (c *Container) Record(i int) Record { return c.recs[i] }
 
 // Decode appends the decompressed i-th value to dst.
 func (c *Container) Decode(dst []byte, i int) ([]byte, error) {
+	decodeOps.Add(1)
 	return c.codec.Decode(dst, c.recs[i].Value)
 }
 

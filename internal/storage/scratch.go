@@ -52,10 +52,21 @@ func ScratchStats() (gets, allocs int64) {
 // returns a view of it. The view is valid until the next call on the
 // same Scratch (or its Release).
 func (c *Container) DecodeScratch(s *Scratch, i int) ([]byte, error) {
+	decodeOps.Add(1)
 	var err error
 	s.buf, err = c.codec.Decode(s.buf[:0], c.recs[i].Value)
 	return s.buf, err
 }
+
+// decodeOps counts every value decompression in the process, whichever
+// path it takes (plain Decode or DecodeScratch). It is the observable
+// the streaming-result contract is tested against: stopping a result
+// cursor after N items must stop the decode counter too.
+var decodeOps atomic.Int64
+
+// DecodeOps returns the process-wide number of value decodes performed
+// so far. Monotonic; diff two readings to charge a code region.
+func DecodeOps() int64 { return decodeOps.Load() }
 
 // TextScratch is Text decoding into a scratch buffer (see DecodeScratch
 // for the aliasing rules).

@@ -153,13 +153,23 @@ func (s *Store) DeepText(dst []byte, id NodeID) ([]byte, error) {
 // This is the XMLSerialize operator's core: the only place where whole
 // subtrees are decompressed.
 func (s *Store) Serialize(dst []byte, id NodeID) ([]byte, error) {
+	sc := NewScratch()
+	defer sc.Release()
+	return s.SerializeScratch(sc, dst, id)
+}
+
+// SerializeScratch is Serialize with the value decodes routed through a
+// caller-held scratch buffer, so a streaming consumer serializing many
+// subtrees one at a time performs no per-value decode allocation. The
+// scratch holds only transient single-value state between calls.
+func (s *Store) SerializeScratch(sc *Scratch, dst []byte, id NodeID) ([]byte, error) {
 	n := &s.Nodes[id-1]
 	tag := s.Names[n.Tag]
 	if strings.HasPrefix(tag, "@") {
 		// Attribute serialized standalone: name="value".
 		dst = append(dst, tag[1:]...)
 		dst = append(dst, '=', '"')
-		v, err := s.Text(nil, id)
+		v, err := s.TextScratch(sc, id)
 		if err != nil {
 			return dst, err
 		}
@@ -167,7 +177,7 @@ func (s *Store) Serialize(dst []byte, id NodeID) ([]byte, error) {
 		return append(dst, '"'), nil
 	}
 	if tag == "#text" {
-		v, err := s.Text(nil, id)
+		v, err := s.TextScratch(sc, id)
 		if err != nil {
 			return dst, err
 		}
@@ -186,7 +196,7 @@ func (s *Store) Serialize(dst []byte, id NodeID) ([]byte, error) {
 		}
 		dst = append(dst, ' ')
 		var err error
-		dst, err = s.Serialize(dst, kid)
+		dst, err = s.SerializeScratch(sc, dst, kid)
 		if err != nil {
 			return dst, err
 		}
@@ -207,7 +217,7 @@ func (s *Store) Serialize(dst []byte, id NodeID) ([]byte, error) {
 		if k.IsValue() {
 			vr := n.Values[k.ValueIndex()]
 			var v []byte
-			v, err = s.Containers[vr.Container].Decode(nil, int(vr.Index))
+			v, err = s.Containers[vr.Container].DecodeScratch(sc, int(vr.Index))
 			if err != nil {
 				return dst, err
 			}
@@ -217,7 +227,7 @@ func (s *Store) Serialize(dst []byte, id NodeID) ([]byte, error) {
 		if s.IsAttr(k.Node()) {
 			continue
 		}
-		dst, err = s.Serialize(dst, k.Node())
+		dst, err = s.SerializeScratch(sc, dst, k.Node())
 		if err != nil {
 			return dst, err
 		}

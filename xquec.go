@@ -9,10 +9,16 @@
 // (Fig. 1): Compress is the loader/compressor, Database is the
 // compressed repository, and Database.Query is the query processor.
 //
+// Query returns a pull-based Results cursor: items are computed — and
+// their values decompressed — one Next at a time, so consumers that
+// stop early, stream to a writer, or cancel a context never pay for
+// results they do not read.
+//
 //	db, err := xquec.Compress(doc, xquec.Options{})
 //	res, err := db.Query(`FOR $p IN document("d")/site/people/person
 //	                      WHERE $p/age >= 30 RETURN $p/name/text()`)
-//	xml, err := res.SerializeXML()
+//	defer res.Close()
+//	n, err := res.WriteXML(os.Stdout) // or: item, ok, err := res.Next()
 //
 // Supplying a query workload lets the cost model (§3 of the paper)
 // choose how containers are partitioned into shared source models and
@@ -144,7 +150,7 @@ func WorkloadFromQueries(queries ...string) (*Workload, error) {
 func Open(path string) (*Database, error) {
 	s, err := storage.OpenFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("xquec: open repository %s: %w", path, err)
+		return nil, openErr(fmt.Errorf("xquec: open repository %s: %w", path, err))
 	}
 	return fromStore(s), nil
 }
@@ -153,7 +159,7 @@ func Open(path string) (*Database, error) {
 func OpenBytes(data []byte) (*Database, error) {
 	s, err := storage.LoadBinary(data)
 	if err != nil {
-		return nil, fmt.Errorf("xquec: load repository: %w", err)
+		return nil, openErr(fmt.Errorf("xquec: load repository: %w", err))
 	}
 	return fromStore(s), nil
 }
@@ -174,25 +180,41 @@ func (db *Database) Decompress() ([]byte, error) {
 	return db.store.Serialize(nil, 1)
 }
 
-// Query parses and evaluates an XQuery expression. Safe for concurrent
-// use: the per-query state (join-index caches) is private to the call.
-func (db *Database) Query(q string) (*Results, error) {
-	res, err := engine.New(db.store).Query(q)
+// run is the single evaluation entry point behind Query, QueryContext,
+// Prepared.Run and Prepared.RunContext: arm a fresh engine with ctx,
+// build the streaming cursor, and prime its first item so errors that
+// occur before any output — an expired deadline, an unbound variable,
+// a failing aggregate — surface here rather than on the first Next.
+// Each call gets its own engine, so evaluation state is never shared.
+func (db *Database) run(ctx context.Context, expr xquery.Expr) (*Results, error) {
+	res, err := engine.New(db.store).WithContext(ctx).EvalStream(expr)
 	if err != nil {
-		return nil, err
+		return nil, tagErr(ErrEval, err)
+	}
+	if err := res.Prime(); err != nil {
+		return nil, tagErr(ErrEval, err)
 	}
 	return &Results{res: res}, nil
 }
 
-// QueryContext is Query with cancellation: the evaluation loop polls
-// ctx, so a deadline or a client disconnect aborts a long evaluation
-// mid-stream with ctx.Err() (context.DeadlineExceeded / Canceled).
+// Query parses and evaluates an XQuery expression. Safe for concurrent
+// use: the per-query state (join-index caches, cursor position) is
+// private to the call. The returned Results is a pull cursor; consume
+// it with Next/WriteXML (or the legacy SerializeXML) and Close it.
+func (db *Database) Query(q string) (*Results, error) {
+	return db.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation: the evaluation loop and the
+// result cursor both poll ctx, so a deadline or a client disconnect
+// aborts a long evaluation — or a long result iteration — with
+// ctx.Err() (context.DeadlineExceeded / Canceled).
 func (db *Database) QueryContext(ctx context.Context, q string) (*Results, error) {
-	res, err := engine.New(db.store).QueryContext(ctx, q)
+	expr, err := xquery.Parse(q)
 	if err != nil {
-		return nil, err
+		return nil, tagErr(ErrParse, err)
 	}
-	return &Results{res: res}, nil
+	return db.run(ctx, expr)
 }
 
 // Prepare parses a query once for repeated execution, skipping the
@@ -203,7 +225,7 @@ func (db *Database) QueryContext(ctx context.Context, q string) (*Results, error
 func (db *Database) Prepare(q string) (*Prepared, error) {
 	expr, err := xquery.Parse(q)
 	if err != nil {
-		return nil, err
+		return nil, tagErr(ErrParse, err)
 	}
 	return &Prepared{db: db, expr: expr, text: q}, nil
 }
@@ -219,16 +241,10 @@ type Prepared struct {
 func (p *Prepared) Text() string { return p.text }
 
 // Run evaluates the prepared query.
-func (p *Prepared) Run() (*Results, error) { return p.RunContext(context.Background()) }
+func (p *Prepared) Run() (*Results, error) { return p.db.run(context.Background(), p.expr) }
 
 // RunContext evaluates the prepared query under ctx (see QueryContext).
-func (p *Prepared) RunContext(ctx context.Context) (*Results, error) {
-	res, err := engine.New(p.db.store).WithContext(ctx).Eval(p.expr)
-	if err != nil {
-		return nil, err
-	}
-	return &Results{res: res}, nil
-}
+func (p *Prepared) RunContext(ctx context.Context) (*Results, error) { return p.db.run(ctx, p.expr) }
 
 // Explain renders the evaluation strategy for a query without running
 // it: summary accesses, compressed-domain predicate pushdowns, and the
@@ -317,20 +333,8 @@ func (db *Database) Containers() []ContainerInfo {
 	return out
 }
 
-// Results is a query result sequence.
-type Results struct {
-	res *engine.Result
-}
-
-// Len returns the number of result items.
-func (r *Results) Len() int { return r.res.Len() }
-
-// SerializeXML renders the results as XML/text, one item per line —
-// the only point where values are decompressed.
-func (r *Results) SerializeXML() (string, error) { return r.res.SerializeXML() }
-
 // ParseQuery checks a query for syntax errors without running it.
 func ParseQuery(q string) error {
 	_, err := xquery.Parse(q)
-	return err
+	return tagErr(ErrParse, err)
 }
