@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-serve bench bench-query bench-paper
+.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-paper
 
 check: vet build race bench ## tier-1: vet + build + race-clean tests + bench smoke
 
@@ -26,7 +26,7 @@ bench-serve:
 # Ingestion + decode + serving benchmarks with allocation counts; each
 # run appends one JSON record to BENCH_ingest.json for cross-commit
 # comparison.
-bench: bench-query
+bench: bench-query bench-par
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
 	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
@@ -39,6 +39,15 @@ bench-query:
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkFirstResult|BenchmarkWriteXML|BenchmarkSerializeXML' -benchmem . \
 	| /tmp/benchjson -o BENCH_query.json -label query-streaming
+
+# Intra-query parallelism benchmarks: the partitioned container scan
+# and the multi-container predicate fan-out at worker budgets 1/2/4.
+# Appends to BENCH_query_par.json. Speedups over p=1 require a
+# multi-core host; see EXPERIMENTS.md for the calibration notes.
+bench-par:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkParQuery' -benchmem . \
+	| /tmp/benchjson -o BENCH_query_par.json -label query-parallel
 
 # Full paper benchmark suite (scaled-down in-test versions).
 bench-paper:

@@ -4,13 +4,16 @@
 // Usage:
 //
 //	xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
-//	xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] repo.xqc
+//	xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max]
+//	               [-p workers] [-cpuprofile out.pprof] repo.xqc
 //	xquec stats    repo.xqc
 //	xquec decompress repo.xqc        # reconstruct the XML
 //
 // Query results stream to stdout as they are produced: the first item
 // prints before the full evaluation finishes, and -n stops both the
-// output and the evaluation after that many items.
+// output and the evaluation after that many items. -p grants the
+// evaluator an intra-query worker budget (0 = GOMAXPROCS); results are
+// identical at every setting.
 //
 // Exit codes: 0 success, 1 error, 2 usage, 3 query timeout,
 // 4 query parse error, 5 corrupt repository.
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"xquec"
@@ -79,7 +83,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] [-p workers] [-v] doc.xml
-  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] repo.xqc
+  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] [-p workers] [-cpuprofile file] repo.xqc
   xquec stats    repo.xqc
   xquec explain  -q query repo.xqc
   xquec decompress repo.xqc`)
@@ -134,6 +138,8 @@ func cmdQuery(args []string) error {
 	qf := fs.String("f", "", "file containing the query")
 	timeout := fs.Duration("timeout", 0, "abort evaluation after this long (0 = no limit)")
 	maxItems := fs.Int("n", 0, "stop after this many result items (0 = all); stops evaluation too")
+	par := fs.Int("p", 0, "intra-query worker count (0 = GOMAXPROCS, 1 = serial; results are identical)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the evaluation to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,7 +166,18 @@ func cmdQuery(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := db.QueryContext(ctx, *q)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	res, err := db.QueryWith(ctx, *q, xquec.QueryOptions{Parallelism: *par})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("query exceeded %v: %w", *timeout, err)

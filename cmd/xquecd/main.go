@@ -7,6 +7,7 @@
 //
 //	xquecd -repos ./repos [-addr :8090] [-pool 8] [-plans 256]
 //	       [-timeout 30s] [-max-concurrent 16] [-flush-items 32]
+//	       [-query-parallelism 1] [-pprof localhost:6060]
 //
 // API:
 //
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +44,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query evaluation deadline")
 	maxConc := flag.Int("max-concurrent", 0, "max concurrently evaluating queries (0 = 2×GOMAXPROCS)")
 	flushItems := flag.Int("flush-items", 32, "flush /query/stream responses every N items (first item always flushes)")
+	queryPar := flag.Int("query-parallelism", 1, "intra-query worker budget per query (1 = serial; requests may override with \"parallelism\")")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off")
 	flag.Parse()
 
 	if *repos == "" {
@@ -50,15 +54,26 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := server.New(server.Config{
-		RepoDir:       *repos,
-		PoolSize:      *pool,
-		PlanCacheSize: *plans,
-		MaxConcurrent: *maxConc,
-		QueryTimeout:  *timeout,
-		FlushEvery:    *flushItems,
+		RepoDir:          *repos,
+		PoolSize:         *pool,
+		PlanCacheSize:    *plans,
+		MaxConcurrent:    *maxConc,
+		QueryTimeout:     *timeout,
+		FlushEvery:       *flushItems,
+		QueryParallelism: *queryPar,
 	})
 	if err != nil {
 		log.Fatalf("xquecd: %v", err)
+	}
+	if *pprofAddr != "" {
+		// Side listener so profiling endpoints never share the public
+		// address; the import registers the handlers on DefaultServeMux.
+		go func() {
+			log.Printf("xquecd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("xquecd: pprof listener: %v", err)
+			}
+		}()
 	}
 	names, err := srv.Pool().Available()
 	if err != nil {

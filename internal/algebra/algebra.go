@@ -37,39 +37,97 @@ func SummaryAccess(nodes []*storage.SummaryNode) NodeSet {
 	return MergeUnion(lists...)
 }
 
-// MergeUnion merges document-ordered sets into one (k-way merge).
+// MergeUnion merges document-ordered sets into one. Two lists use a
+// plain linear merge; three or more go through a binary min-heap of
+// list heads, so the union is O(n log k) instead of the O(n·k)
+// scan-every-head loop (matchOwners can fan one summary path out to
+// many containers, so k grows with the schema, not the query).
 func MergeUnion(lists ...NodeSet) NodeSet {
 	switch len(lists) {
 	case 0:
 		return nil
 	case 1:
 		return lists[0]
+	case 2:
+		return mergeTwo(lists[0], lists[1])
 	}
 	total := 0
-	for _, l := range lists {
+	heap := make([]mergeHead, 0, len(lists))
+	for i, l := range lists {
 		total += len(l)
+		if len(l) > 0 {
+			heap = append(heap, mergeHead{id: l[0], list: i})
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
 	}
 	out := make(NodeSet, 0, total)
 	idx := make([]int, len(lists))
-	for {
-		best := -1
-		var bestID storage.NodeID
-		for i, l := range lists {
-			if idx[i] < len(l) {
-				if best < 0 || l[idx[i]] < bestID {
-					best = i
-					bestID = l[idx[i]]
-				}
-			}
+	for len(heap) > 0 {
+		h := heap[0]
+		if len(out) == 0 || out[len(out)-1] != h.id {
+			out = append(out, h.id)
 		}
-		if best < 0 {
-			return out
+		idx[h.list]++
+		if l := lists[h.list]; idx[h.list] < len(l) {
+			heap[0].id = l[idx[h.list]]
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
 		}
-		if len(out) == 0 || out[len(out)-1] != bestID {
-			out = append(out, bestID)
-		}
-		idx[best]++
+		siftDown(heap, 0)
 	}
+	return out
+}
+
+// mergeHead is one heap entry of the k-way merge: the current head
+// value of a list and which list it came from.
+type mergeHead struct {
+	id   storage.NodeID
+	list int
+}
+
+func siftDown(h []mergeHead, i int) {
+	for {
+		small := i
+		if l := 2*i + 1; l < len(h) && h[l].id < h[small].id {
+			small = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].id < h[small].id {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+// mergeTwo is the two-list linear union with dedup.
+func mergeTwo(a, b NodeSet) NodeSet {
+	out := make(NodeSet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var id storage.NodeID
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			id = a[i]
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			id = b[j]
+			j++
+		default:
+			id = a[i]
+			i++
+			j++
+		}
+		if len(out) == 0 || out[len(out)-1] != id {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Intersect returns the document-ordered intersection of two sets.
@@ -92,8 +150,20 @@ func Intersect(a, b NodeSet) NodeSet {
 }
 
 // SortUnique sorts ids and removes duplicates, restoring the NodeSet
-// invariant after an order-destroying step (e.g. Parent).
+// invariant after an order-destroying step (e.g. Parent). A single
+// linear scan first detects the already-strictly-ascending common case
+// (Child and Descendants call this defensively; their output is almost
+// always ordered) and returns the input untouched, skipping the
+// O(n log n) sort. The ids[0] != 0 guard keeps the fast path
+// byte-identical to the sorting path, which drops zero IDs.
 func SortUnique(ids []storage.NodeID) NodeSet {
+	ordered := len(ids) == 0 || ids[0] != 0
+	for i := 1; ordered && i < len(ids); i++ {
+		ordered = ids[i-1] < ids[i]
+	}
+	if ordered {
+		return ids
+	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := ids[:0]
 	var prev storage.NodeID

@@ -1,0 +1,267 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"xquec/internal/storage"
+)
+
+// lowFloors drops the partitioning floors so small test inputs exercise
+// the parallel paths, restoring them afterwards.
+func lowFloors(t *testing.T, recs, nodes int) {
+	t.Helper()
+	oldR, oldN := MinRecordsPerPartition, MinNodesPerPartition
+	MinRecordsPerPartition, MinNodesPerPartition = recs, nodes
+	t.Cleanup(func() { MinRecordsPerPartition, MinNodesPerPartition = oldR, oldN })
+}
+
+func equalSets(a, b NodeSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestContFilterParMatchesSerial compares the partitioned decoding scan
+// against the serial one at several worker counts, over every codec.
+func TestContFilterParMatchesSerial(t *testing.T) {
+	lowFloors(t, 4, 64)
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "<p><v>word%d tail%d</v></p>", rng.Intn(40), rng.Intn(5))
+	}
+	sb.WriteString("</r>")
+	for _, alg := range []string{storage.AlgALM, storage.AlgHuffman, storage.AlgHuTucker} {
+		s, err := storage.Load([]byte(sb.String()), storage.LoadOptions{
+			Plan: &storage.CompressionPlan{DefaultAlgorithm: alg},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, ok := s.ContainerByPath("/r/p/v/#text")
+		if !ok {
+			t.Fatal("missing container")
+		}
+		pred := func(plain []byte) bool { return strings.Contains(string(plain), "word1") }
+		want, err := ContFilter(c, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 2, 3, 4, 8, 100} {
+			got, err := ContFilterPar(c, par, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalSets(got, want) {
+				t.Fatalf("%s par=%d: got %v, want %v", alg, par, got, want)
+			}
+		}
+		probe := []byte("word3 tail1")
+		wantEq, err := ContEq(c, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4} {
+			got, err := ContEqPar(c, probe, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalSets(got, wantEq) {
+				t.Fatalf("%s ContEqPar par=%d: got %v, want %v", alg, par, got, wantEq)
+			}
+		}
+	}
+}
+
+// randomSubset picks a random document-ordered subset.
+func randomSubset(rng *rand.Rand, all NodeSet, p float64) NodeSet {
+	var out NodeSet
+	for _, id := range all {
+		if rng.Float64() < p {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestStructuralParMatchesSerial fuzzes the partitioned structural
+// operators against their serial forms on random (nesting) trees.
+func TestStructuralParMatchesSerial(t *testing.T) {
+	lowFloors(t, 4, 4)
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomTree(t, rng)
+		all := make(NodeSet, 0, s.NumNodes())
+		for id := storage.NodeID(1); int(id) <= s.NumNodes(); id++ {
+			all = append(all, id)
+		}
+		in := randomSubset(rng, all, 0.4)     // may nest
+		extent := randomSubset(rng, all, 0.6) // candidate descendants
+		outer := randomSubset(rng, all, 0.35) // semi-join outer (may nest)
+		inner := randomSubset(rng, all, 0.5)  // semi-join inner
+		nonNest := nonNestingSubset(s, all)   // for MapToAncestorIn
+
+		wantD := Descendants(s, in, extent)
+		wantS := SemiJoinAncestor(s, outer, inner)
+		wantM := MapToAncestorIn(s, nonNest, inner)
+		for _, par := range []int{2, 3, 5, 16} {
+			if got := DescendantsPar(s, in, extent, par); !equalSets(got, wantD) {
+				t.Fatalf("seed=%d par=%d Descendants: got %v want %v", seed, par, got, wantD)
+			}
+			if got := SemiJoinAncestorPar(s, outer, inner, par); !equalSets(got, wantS) {
+				t.Fatalf("seed=%d par=%d SemiJoinAncestor: got %v want %v", seed, par, got, wantS)
+			}
+			if got := MapToAncestorInPar(s, nonNest, inner, par); !reflect.DeepEqual(got, wantM) {
+				t.Fatalf("seed=%d par=%d MapToAncestorIn: got %v want %v", seed, par, got, wantM)
+			}
+		}
+	}
+}
+
+// nonNestingSubset returns a maximal document-ordered subset whose
+// subtrees are pairwise disjoint (the MapToAncestorIn outer contract).
+func nonNestingSubset(s *storage.Store, all NodeSet) NodeSet {
+	var out NodeSet
+	var lastEnd storage.NodeID
+	for _, id := range all {
+		if id > lastEnd {
+			out = append(out, id)
+			lastEnd = s.SubtreeEnd(id)
+		}
+	}
+	return out
+}
+
+// sortUniqueReference is the pre-optimization SortUnique: always sort,
+// then dedup (dropping zero IDs via the zero-valued prev).
+func sortUniqueReference(ids []storage.NodeID) NodeSet {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	var prev storage.NodeID
+	for _, id := range ids {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return out
+}
+
+// TestSortUniqueOrderedDetection property-tests the ordered-input fast
+// path against the reference implementation, including inputs with
+// duplicates, zeros and near-sorted runs.
+func TestSortUniqueOrderedDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gen := func() []storage.NodeID {
+		n := rng.Intn(40)
+		ids := make([]storage.NodeID, n)
+		switch rng.Intn(4) {
+		case 0: // strictly ascending
+			cur := storage.NodeID(rng.Intn(3))
+			for i := range ids {
+				cur += storage.NodeID(1 + rng.Intn(5))
+				ids[i] = cur
+			}
+		case 1: // ascending with duplicates
+			cur := storage.NodeID(1)
+			for i := range ids {
+				cur += storage.NodeID(rng.Intn(2))
+				ids[i] = cur
+			}
+		case 2: // random, may include zeros
+			for i := range ids {
+				ids[i] = storage.NodeID(rng.Intn(20))
+			}
+		default: // sorted run with one swap
+			cur := storage.NodeID(1)
+			for i := range ids {
+				cur += storage.NodeID(1 + rng.Intn(3))
+				ids[i] = cur
+			}
+			if n >= 2 {
+				i, j := rng.Intn(n), rng.Intn(n)
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+		return ids
+	}
+	for trial := 0; trial < 2000; trial++ {
+		ids := gen()
+		ref := append([]storage.NodeID(nil), ids...)
+		want := sortUniqueReference(ref)
+		got := SortUnique(ids)
+		if !equalSets(got, want) {
+			t.Fatalf("trial %d: SortUnique(%v) = %v, want %v", trial, ids, got, want)
+		}
+	}
+}
+
+// mergeUnionReference is the pre-optimization pairwise-scan MergeUnion.
+func mergeUnionReference(lists ...NodeSet) NodeSet {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make(NodeSet, 0, total)
+	idx := make([]int, len(lists))
+	for {
+		best := -1
+		var bestID storage.NodeID
+		for i, l := range lists {
+			if idx[i] < len(l) {
+				if best < 0 || l[idx[i]] < bestID {
+					best = i
+					bestID = l[idx[i]]
+				}
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != bestID {
+			out = append(out, bestID)
+		}
+		idx[best]++
+	}
+}
+
+// TestMergeUnionHeapMatchesReference property-tests the k-way heap
+// merge against the old linear-scan implementation across list counts.
+func TestMergeUnionHeapMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		k := rng.Intn(9) // 0..8 lists
+		lists := make([]NodeSet, k)
+		for i := range lists {
+			cur := storage.NodeID(1 + rng.Intn(5))
+			n := rng.Intn(15)
+			for j := 0; j < n; j++ {
+				lists[i] = append(lists[i], cur)
+				cur += storage.NodeID(1 + rng.Intn(6))
+			}
+		}
+		want := mergeUnionReference(append([]NodeSet(nil), lists...)...)
+		got := MergeUnion(lists...)
+		if !equalSets(got, want) {
+			t.Fatalf("trial %d (k=%d): got %v, want %v", trial, k, got, want)
+		}
+	}
+}

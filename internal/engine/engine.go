@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"xquec/internal/algebra"
@@ -29,11 +30,18 @@ type Engine struct {
 	// atomizes many nodes, and the engine is single-goroutine, so one
 	// buffer serves them all without per-call allocation.
 	sbuf []byte
+	// par is the intra-query worker budget for the partitioned operators
+	// (decoding scans, structural joins, container fan-outs). 1 = serial.
+	// Only pure container/summary reads run on workers; the engine's own
+	// mutable state (joinIdx, sbuf, ctxTick) stays on the calling
+	// goroutine, so results are byte-identical at every setting.
+	par int
 }
 
-// New returns an engine over the store.
+// New returns an engine over the store. Evaluation is serial until
+// WithParallelism grants a worker budget.
 func New(s *storage.Store) *Engine {
-	return &Engine{store: s, joinIdx: map[*xquery.Cmp]*joinIndex{}}
+	return &Engine{store: s, joinIdx: map[*xquery.Cmp]*joinIndex{}, par: 1}
 }
 
 // WithContext arms the engine's cancellation checks with ctx and
@@ -42,6 +50,19 @@ func (e *Engine) WithContext(ctx context.Context) *Engine {
 	if ctx != nil && ctx != context.Background() {
 		e.ctx = ctx
 	}
+	return e
+}
+
+// WithParallelism sets the intra-query worker budget and returns the
+// engine. n <= 0 means GOMAXPROCS (mirroring storage.LoadOptions);
+// 1 keeps the serial path. Results are identical at every setting —
+// partitioned operators only engage above their work floors, so small
+// queries never pay fan-out overhead.
+func (e *Engine) WithParallelism(n int) *Engine {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.par = n
 	return e
 }
 

@@ -202,12 +202,12 @@ func (e *Engine) flworEach(x *xquery.FLWOR, env *scope, emit func(Seq) error) er
 		var perTuple []xquery.Expr
 		for _, pd := range pds {
 			if pd.isLit {
-				owners, handled, err := e.matchOwners(sums, pd.rel, pd.op, pd.lit)
+				owners, handled, err := e.matchOwners(sums, pd.rel, pd.op, pd.lit, e.par)
 				if err != nil {
 					return err
 				}
 				if handled {
-					cur = algebra.SemiJoinAncestor(e.store, cur, owners)
+					cur = algebra.SemiJoinAncestorPar(e.store, cur, owners, e.par)
 					continue
 				}
 				perTuple = append(perTuple, pd.conj)
@@ -350,8 +350,8 @@ func (e *Engine) joinIndexFor(pd pushdown, sums, otherSums []*storage.SummaryNod
 				continue
 			}
 			// Map each side's value owners up to the binding level.
-			thisAnc := ancestorMap(e.store, thisExtent, ownersOf(pairs, true))
-			otherAnc := ancestorMap(e.store, otherExtent, ownersOf(pairs, false))
+			thisAnc := ancestorMap(e.store, thisExtent, ownersOf(pairs, true), e.par)
+			otherAnc := ancestorMap(e.store, otherExtent, ownersOf(pairs, false), e.par)
 			for _, p := range pairs {
 				tn, okT := thisAnc[p.A]
 				on, okO := otherAnc[p.B]
@@ -380,10 +380,11 @@ func ownersOf(pairs []algebra.Pair, first bool) algebra.NodeSet {
 	return algebra.SortUnique(ids)
 }
 
-// ancestorMap maps each inner node to its covering node in outer.
-func ancestorMap(s *storage.Store, outer, inner algebra.NodeSet) map[storage.NodeID]storage.NodeID {
+// ancestorMap maps each inner node to its covering node in outer,
+// splitting the structural merge across up to par workers.
+func ancestorMap(s *storage.Store, outer, inner algebra.NodeSet, par int) map[storage.NodeID]storage.NodeID {
 	m := make(map[storage.NodeID]storage.NodeID, len(inner))
-	for _, p := range algebra.MapToAncestorIn(s, outer, inner) {
+	for _, p := range algebra.MapToAncestorInPar(s, outer, inner, par) {
 		m[p.B] = p.A
 	}
 	return m

@@ -8,6 +8,7 @@ import (
 
 	"xquec/internal/algebra"
 	"xquec/internal/storage"
+	"xquec/internal/xpar"
 	"xquec/internal/xquery"
 )
 
@@ -273,7 +274,7 @@ func (e *Engine) applyStep(st pathState, fromDocument bool, step xquery.Step, en
 		if step.Axis == xquery.AxisChild {
 			next.nodes = childrenWithin(e.store, st.nodes, targets)
 		} else {
-			next.nodes = algebra.Descendants(e.store, st.nodes, algebra.SummaryAccess(targets))
+			next.nodes = algebra.DescendantsPar(e.store, st.nodes, algebra.SummaryAccess(targets), e.par)
 		}
 		next.exact = false
 	}
@@ -395,7 +396,11 @@ func (e *Engine) applyPreds(nodes algebra.NodeSet, preds []xquery.Expr, env *sco
 		flat = append(flat, splitPredConjuncts(pred)...)
 	}
 	preds = flat
-	for _, pred := range preds {
+	// The owner sets of the conjunct fast paths depend only on the
+	// containers (never on cur), so independent conjuncts can be
+	// evaluated concurrently and consumed in predicate order.
+	pre := e.precomputeConjunctOwners(preds, sums)
+	for i, pred := range preds {
 		switch p := pred.(type) {
 		case *xquery.NumberLit:
 			idx := int(p.Val)
@@ -414,8 +419,18 @@ func (e *Engine) applyPreds(nodes algebra.NodeSet, preds []xquery.Expr, env *sco
 				continue
 			}
 		}
-		// Value predicate: container fast path, else per-node.
-		if sel, ok, err := e.predFastPath(cur, sums, pred, env); err != nil {
+		// Value predicate: container fast path, else per-node. A
+		// precomputed conjunct replays its (owners, ok, err) in predicate
+		// order, so error and fallback selection match the serial loop.
+		if pc := pre[i]; pc != nil {
+			if pc.err != nil {
+				return nil, pc.err
+			}
+			if pc.ok {
+				cur = algebra.SemiJoinAncestorPar(e.store, cur, pc.owners, e.par)
+				continue
+			}
+		} else if sel, ok, err := e.predFastPath(cur, sums, pred, env); err != nil {
 			return nil, err
 		} else if ok {
 			cur = sel
@@ -439,6 +454,62 @@ func (e *Engine) applyPreds(nodes algebra.NodeSet, preds []xquery.Expr, env *sco
 		cur = out
 	}
 	return cur, nil
+}
+
+// conjunctOwners is one precomputed fast-path result: the matched owner
+// set, whether the fast path applies, and any container error.
+type conjunctOwners struct {
+	owners algebra.NodeSet
+	ok     bool
+	err    error
+}
+
+// precomputeConjunctOwners fans the container fast paths of independent
+// `relPath op literal` conjuncts out across the worker pool. It returns
+// a sparse slice aligned with preds (nil = not eligible, evaluate as
+// before). Only pure container/summary reads run on the workers; every
+// result is replayed in predicate order by the caller, so evaluation
+// order, error selection and fallback decisions are serial-identical.
+func (e *Engine) precomputeConjunctOwners(preds []xquery.Expr, sums []*storage.SummaryNode) []*conjunctOwners {
+	if e.par <= 1 || len(sums) == 0 || len(preds) < 2 {
+		return make([]*conjunctOwners, len(preds))
+	}
+	type job struct {
+		idx     int
+		rel     *xquery.PathExpr
+		op, lit string
+	}
+	var jobs []job
+	for i, pred := range preds {
+		cmp, isCmp := pred.(*xquery.Cmp)
+		if !isCmp {
+			continue
+		}
+		if rel, lit, op, ok := splitCmp(cmp); ok {
+			jobs = append(jobs, job{idx: i, rel: rel, op: op, lit: lit})
+		}
+	}
+	out := make([]*conjunctOwners, len(preds))
+	if len(jobs) < 2 {
+		return out
+	}
+	inner := e.par / len(jobs)
+	if inner < 1 {
+		inner = 1
+	}
+	workers := e.par
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	xpar.NoteScan(len(jobs))
+	_ = xpar.ForEach(workers, len(jobs), func(k int) error {
+		j := jobs[k]
+		pc := &conjunctOwners{}
+		pc.owners, pc.ok, pc.err = e.matchOwners(sums, j.rel, j.op, j.lit, inner)
+		out[j.idx] = pc
+		return nil
+	})
+	return out
 }
 
 // splitPredConjuncts flattens an AND tree inside a step predicate.
@@ -506,7 +577,16 @@ func (e *Engine) relValueTarget(sums []*storage.SummaryNode, p *xquery.PathExpr)
 				// all "", which the containers cannot answer.
 				return nil, false, false
 			}
-			if txt.Count < sn.Count {
+			// #text summary nodes carry no structural extent (values live
+			// in the containers), so instance coverage is measured by the
+			// container's record count: one record per instance with text.
+			txtCount := txt.Count
+			if txt.Container >= 0 {
+				if c := e.store.Container(txt.Container); c != nil {
+					txtCount = c.Len()
+				}
+			}
+			if txtCount < sn.Count {
 				complete = false // some instances have no text value
 			}
 			target = txt
@@ -533,11 +613,11 @@ func (e *Engine) predFastPath(nodes algebra.NodeSet, sums []*storage.SummaryNode
 	if !ok {
 		return nil, false, nil
 	}
-	owners, ok, err := e.matchOwners(sums, rel, op, lit)
+	owners, ok, err := e.matchOwners(sums, rel, op, lit, e.par)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	return algebra.SemiJoinAncestor(e.store, nodes, owners), true, nil
+	return algebra.SemiJoinAncestorPar(e.store, nodes, owners, e.par), true, nil
 }
 
 // splitCmp normalizes a comparison into (relative path, literal,
@@ -581,8 +661,11 @@ func flipOp(op string) string {
 }
 
 // matchOwners returns the owner nodes (value parents) matching
-// `relPath op literal` under the given summary nodes.
-func (e *Engine) matchOwners(sums []*storage.SummaryNode, rel *xquery.PathExpr, op, literal string) (algebra.NodeSet, bool, error) {
+// `relPath op literal` under the given summary nodes, spending up to
+// par workers: one summary path can map to many containers, so the
+// per-container matches fan out across the pool, each container scan
+// splitting its leftover worker share internally.
+func (e *Engine) matchOwners(sums []*storage.SummaryNode, rel *xquery.PathExpr, op, literal string, par int) (algebra.NodeSet, bool, error) {
 	conts, complete, ok := e.relValueTarget(sums, rel)
 	if !ok {
 		return nil, false, nil
@@ -600,9 +683,39 @@ func (e *Engine) matchOwners(sums []*storage.SummaryNode, rel *xquery.PathExpr, 
 		// recorded); fall back to per-node evaluation.
 		return nil, false, nil
 	}
+	if par > 1 && len(conts) > 1 {
+		results := make([]conjunctOwners, len(conts))
+		inner := par / len(conts)
+		if inner < 1 {
+			inner = 1
+		}
+		workers := par
+		if workers > len(conts) {
+			workers = len(conts)
+		}
+		xpar.NoteScan(len(conts))
+		// Workers never return an error: the reduction below walks the
+		// results in container order, so the error and not-handled
+		// decisions are the ones the serial loop would have made.
+		_ = xpar.ForEach(workers, len(conts), func(i int) error {
+			results[i].owners, results[i].ok, results[i].err = e.containerMatch(conts[i], op, literal, inner)
+			return nil
+		})
+		all := make([]algebra.NodeSet, 0, len(conts))
+		for _, r := range results {
+			if r.err != nil {
+				return nil, false, r.err
+			}
+			if !r.ok {
+				return nil, false, nil
+			}
+			all = append(all, r.owners)
+		}
+		return algebra.MergeUnion(all...), true, nil
+	}
 	var all []algebra.NodeSet
 	for _, c := range conts {
-		owners, ok, err := e.containerMatch(c, op, literal)
+		owners, ok, err := e.containerMatch(c, op, literal, par)
 		if err != nil {
 			return nil, false, err
 		}
@@ -615,14 +728,15 @@ func (e *Engine) matchOwners(sums []*storage.SummaryNode, rel *xquery.PathExpr, 
 }
 
 // containerMatch evaluates `value op literal` over one container,
-// preferring the compressed domain.
-func (e *Engine) containerMatch(c *storage.Container, op, literal string) (algebra.NodeSet, bool, error) {
+// preferring the compressed domain; the decoding-scan fallbacks split
+// the record range across up to par workers.
+func (e *Engine) containerMatch(c *storage.Container, op, literal string, par int) (algebra.NodeSet, bool, error) {
 	_, litIsNum := parseNum(literal)
 	// String containers compared against numeric literals follow
 	// numeric semantics per value ("40.0" = 40): fall back to a
 	// decoding scan.
 	if c.Kind == storage.KindString && litIsNum {
-		owners, err := algebra.ContFilter(c, func(plain []byte) bool {
+		owners, err := algebra.ContFilterPar(c, par, func(plain []byte) bool {
 			return compareAtoms(op, string(plain), literal)
 		})
 		return owners, err == nil, err
@@ -633,17 +747,17 @@ func (e *Engine) containerMatch(c *storage.Container, op, literal string) (algeb
 		// space exactly (e.g. "40" against a scale-2 decimal container
 		// would be, but "abc" against an int container is not):
 		// fall back to the decoding scan with general semantics.
-		owners, err := algebra.ContFilter(c, func(plain []byte) bool {
+		owners, err := algebra.ContFilterPar(c, par, func(plain []byte) bool {
 			return compareAtoms(op, string(plain), literal)
 		})
 		return owners, err == nil, err
 	}
 	switch op {
 	case "=":
-		owners, err := algebra.ContEq(c, probe)
+		owners, err := algebra.ContEqPar(c, probe, par)
 		return owners, err == nil, err
 	case "!=":
-		owners, err := algebra.ContFilter(c, func(plain []byte) bool {
+		owners, err := algebra.ContFilterPar(c, par, func(plain []byte) bool {
 			return compareAtoms("!=", string(plain), literal)
 		})
 		return owners, err == nil, err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"xquec/internal/storage"
+	"xquec/internal/xpar"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; the
@@ -105,6 +106,13 @@ type Snapshot struct {
 	IngestTrainNs    int64 `json:"ingest_train_ns"`
 	IngestEncodeNs   int64 `json:"ingest_encode_ns"`
 	IngestIndexNs    int64 `json:"ingest_index_ns"`
+
+	// Intra-query worker-pool activity (process-wide, from internal/xpar):
+	// how many evaluations were partitioned, the summed partition count,
+	// and how many pool workers are running right now.
+	ParallelScans       int64 `json:"parallel_scans"`
+	ParallelPartitions  int64 `json:"parallel_partitions"`
+	ParallelWorkersBusy int64 `json:"parallel_workers_busy"`
 }
 
 // Snapshot captures the current counter values.
@@ -137,6 +145,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.IngestTrainNs = bt.TrainNs
 	s.IngestEncodeNs = bt.EncodeNs
 	s.IngestIndexNs = bt.IndexNs
+	ps := xpar.Snapshot()
+	s.ParallelScans = ps.Scans
+	s.ParallelPartitions = ps.Partitions
+	s.ParallelWorkersBusy = ps.Busy
 	return s
 }
 
@@ -172,6 +184,22 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	seconds("xquecd_ingest_train_seconds_total", "Ingestion time training source models.", bt.TrainNs)
 	seconds("xquecd_ingest_encode_seconds_total", "Ingestion time encoding and sorting containers.", bt.EncodeNs)
 	seconds("xquecd_ingest_index_seconds_total", "Ingestion time bulk-loading the B+ index.", bt.IndexNs)
+
+	ps := xpar.Snapshot()
+	counter("xquecd_parallel_scan_total", "Partitioned (multi-worker) evaluations.", ps.Scans)
+	fmt.Fprintf(w, "# HELP xquecd_parallel_scan_partitions Partitions per partitioned evaluation.\n")
+	fmt.Fprintf(w, "# TYPE xquecd_parallel_scan_partitions histogram\n")
+	cumP := int64(0)
+	for i, b := range xpar.PartitionBounds() {
+		cumP += ps.Buckets[i]
+		fmt.Fprintf(w, "xquecd_parallel_scan_partitions_bucket{le=\"%d\"} %d\n", b, cumP)
+	}
+	cumP += ps.Buckets[len(ps.Buckets)-1]
+	fmt.Fprintf(w, "xquecd_parallel_scan_partitions_bucket{le=\"+Inf\"} %d\n", cumP)
+	fmt.Fprintf(w, "xquecd_parallel_scan_partitions_sum %d\n", ps.Partitions)
+	fmt.Fprintf(w, "xquecd_parallel_scan_partitions_count %d\n", ps.Scans)
+	fmt.Fprintf(w, "# HELP xquecd_parallel_workers_busy Intra-query pool workers currently running.\n")
+	fmt.Fprintf(w, "# TYPE xquecd_parallel_workers_busy gauge\nxquecd_parallel_workers_busy %d\n", ps.Busy)
 
 	fmt.Fprintf(w, "# HELP xquecd_in_flight_queries Queries currently evaluating.\n")
 	fmt.Fprintf(w, "# TYPE xquecd_in_flight_queries gauge\nxquecd_in_flight_queries %d\n", m.InFlight.Load())

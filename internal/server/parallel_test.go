@@ -1,0 +1,56 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestServerParallelismOverride checks that requests may raise the
+// configured worker budget (capped at GOMAXPROCS), that results are
+// identical either way, and that the parallel-pool metrics are exposed.
+func TestServerParallelismOverride(t *testing.T) {
+	srv, ts := newTestServer(t, Config{QueryParallelism: 1})
+
+	q := QueryRequest{Repo: "people", Query: `count(/site/people/person)`}
+	serial, _ := postQuery(t, ts.URL, q)
+	if serial == nil {
+		t.Fatal("serial query failed")
+	}
+	q.Parallelism = 4
+	par, _ := postQuery(t, ts.URL, q)
+	if par == nil {
+		t.Fatal("parallel query failed")
+	}
+	if par.Result != serial.Result || par.Count != serial.Count {
+		t.Fatalf("parallel result differs: %+v vs %+v", par, serial)
+	}
+
+	// The override is capped at GOMAXPROCS; absurd requests must clamp,
+	// not spawn unbounded workers.
+	if got := srv.parallelismFor(QueryRequest{Parallelism: 1 << 20}); got > runtime.GOMAXPROCS(0) {
+		t.Fatalf("parallelismFor = %d, want <= GOMAXPROCS", got)
+	}
+	if got := srv.parallelismFor(QueryRequest{}); got != 1 {
+		t.Fatalf("default parallelism = %d, want configured 1", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	for _, metric := range []string{
+		"xquecd_parallel_scan_total",
+		"xquecd_parallel_scan_partitions_bucket",
+		"xquecd_parallel_workers_busy",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Fatalf("metrics exposition missing %s:\n%s", metric, body)
+		}
+	}
+}

@@ -35,6 +35,14 @@ type Config struct {
 	// /query/stream after the first item (which always flushes, to bound
 	// time-to-first-byte). Default 32.
 	FlushEvery int
+	// QueryParallelism is the intra-query worker budget
+	// (xquec.QueryOptions.Parallelism) applied to every query. The
+	// default is 1 (serial): the daemon already runs MaxConcurrent
+	// queries in parallel, so per-query fan-out only pays off when the
+	// workload is a few heavy analytical queries rather than many small
+	// ones. Requests may override it with "parallelism" (capped at
+	// GOMAXPROCS). Results are identical at every setting.
+	QueryParallelism int
 }
 
 func (c *Config) fillDefaults() {
@@ -55,6 +63,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.FlushEvery <= 0 {
 		c.FlushEvery = 32
+	}
+	if c.QueryParallelism <= 0 {
+		c.QueryParallelism = 1
 	}
 }
 
@@ -129,6 +140,10 @@ type QueryRequest struct {
 	// TimeoutMs optionally lowers the server's query timeout for this
 	// request.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Parallelism optionally overrides the server's per-query worker
+	// budget for this request (capped at GOMAXPROCS; 0 keeps the server
+	// default). Results are identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // QueryResponse is the /query response body.
@@ -282,11 +297,24 @@ func (s *Server) resolve(ctx context.Context, req QueryRequest) (res *xquec.Resu
 		s.plans.Put(req.Repo, req.Query, prep)
 	}
 
-	res, err = prep.RunContext(ctx)
+	res, err = prep.RunWith(ctx, xquec.QueryOptions{Parallelism: s.parallelismFor(req)})
 	if err != nil {
 		return nil, planCached, repoCached, statusFor(err), err
 	}
 	return res, planCached, repoCached, http.StatusOK, nil
+}
+
+// parallelismFor is the effective per-query worker budget: the request
+// override when given (capped at GOMAXPROCS), else the server default.
+func (s *Server) parallelismFor(req QueryRequest) int {
+	p := s.cfg.QueryParallelism
+	if req.Parallelism > 0 {
+		p = req.Parallelism
+		if max := runtime.GOMAXPROCS(0); p > max {
+			p = max
+		}
+	}
+	return p
 }
 
 // runQuery resolves and evaluates, streaming the result through the

@@ -1,58 +1,18 @@
 package storage
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"xquec/internal/xpar"
 )
 
-// forEachIndex runs fn(0..n-1) on up to `workers` goroutines, pulling
-// indexes from a shared counter. The first error cancels the remaining
-// work: workers finish the item in hand and stop claiming new ones.
-// Result placement is the caller's job (write into a slice cell per
-// index), which is what keeps parallel builds deterministic: the output
-// order is the index order, never the completion order.
+// forEachIndex runs fn(0..n-1) on up to `workers` goroutines with
+// first-error cancellation and index-ordered result placement. The
+// implementation lives in xpar so the query evaluator shares the same
+// pool semantics; the wrapper keeps this package's call sites stable.
 func forEachIndex(workers, n int, fn func(i int) error) error {
-	if n == 0 {
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next  atomic.Int64
-		stop  atomic.Bool
-		once  sync.Once
-		first error
-		wg    sync.WaitGroup
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for !stop.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					once.Do(func() { first = err })
-					stop.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return first
+	return xpar.ForEach(workers, n, fn)
 }
 
 // BuildStats records the wall-clock time Load spent in each phase of the

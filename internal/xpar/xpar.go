@@ -1,0 +1,124 @@
+// Package xpar is the process-wide intra-task worker pool shared by the
+// ingestion pipeline (storage.Load) and the query evaluator (algebra's
+// partitioned operators, engine fan-outs). It provides one primitive —
+// ForEach, an index-space fan-out with first-error cancellation — plus
+// lightweight instrumentation (scan counter, partitions-per-scan
+// histogram, worker-busy gauge) that xquecd exports as metrics.
+//
+// Determinism contract: ForEach assigns work by index, and callers
+// place results by index (one slice cell per work unit), so the output
+// order is the index order regardless of worker count or scheduling.
+// Every parallel operator built on it must therefore produce output
+// byte-identical to its serial form.
+package xpar
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) on up to `workers` goroutines, pulling
+// indexes from a shared counter. The first error cancels the remaining
+// work: workers finish the item in hand and stop claiming new ones.
+// Result placement is the caller's job (write into a slice cell per
+// index), which is what keeps parallel evaluation deterministic: the
+// output order is the index order, never the completion order.
+// workers <= 1 (or n <= 1) degenerates to a plain serial loop on the
+// calling goroutine with zero overhead.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  atomic.Int64
+		stop  atomic.Bool
+		once  sync.Once
+		first error
+		wg    sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			busy.Add(1)
+			defer busy.Add(-1)
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() { first = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// partitionBounds are the histogram bucket upper bounds for the
+// partitions-per-scan distribution exported by xquecd.
+var partitionBounds = []int64{2, 4, 8, 16, 32, 64}
+
+var (
+	busy       atomic.Int64 // workers currently running inside ForEach
+	scans      atomic.Int64 // parallel scans recorded via NoteScan
+	partitions atomic.Int64 // total partitions across recorded scans
+	buckets    [7]atomic.Int64
+)
+
+// NoteScan records one partitioned evaluation (a ContFilter chunk scan,
+// a structural-join split, a container fan-out) of `parts` partitions
+// in the process-wide counters. Callers only report genuinely parallel
+// work (parts > 1); serial fallbacks are free of even the atomic add.
+func NoteScan(parts int) {
+	scans.Add(1)
+	partitions.Add(int64(parts))
+	for i, b := range partitionBounds {
+		if int64(parts) <= b {
+			buckets[i].Add(1)
+			return
+		}
+	}
+	buckets[len(partitionBounds)].Add(1)
+}
+
+// Stats is a snapshot of the pool counters for metrics export.
+type Stats struct {
+	Scans      int64 // partitioned scans since process start
+	Partitions int64 // summed partition count over those scans
+	Busy       int64 // workers currently executing (gauge)
+	// Buckets[i] counts scans with partitions <= PartitionBounds()[i];
+	// the final cell is the +Inf overflow bucket.
+	Buckets [7]int64
+}
+
+// PartitionBounds returns the histogram bucket upper bounds matching
+// Stats.Buckets (the last bucket is +Inf).
+func PartitionBounds() []int64 { return partitionBounds }
+
+// Snapshot returns the current pool counters.
+func Snapshot() Stats {
+	var s Stats
+	s.Scans = scans.Load()
+	s.Partitions = partitions.Load()
+	s.Busy = busy.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = buckets[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package xpar
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		n := 57
+		var hits [57]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d run %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroN(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Cancellation is best-effort (in-flight items finish) but must not
+	// run the whole index space.
+	if ran.Load() == 1000 {
+		t.Fatal("error did not cancel remaining work")
+	}
+}
+
+func TestForEachSerialErrorStopsImmediately(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := ForEach(1, 100, func(i int) error {
+		ran++
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 6 {
+		t.Fatalf("err=%v ran=%d, want boom after 6", err, ran)
+	}
+}
+
+func TestBusyGaugeReturnsToRest(t *testing.T) {
+	before := Snapshot().Busy
+	if err := ForEach(4, 64, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if after := Snapshot().Busy; after != before {
+		t.Fatalf("busy gauge %d after ForEach, want %d", after, before)
+	}
+}
+
+func TestNoteScanBuckets(t *testing.T) {
+	before := Snapshot()
+	NoteScan(2)   // bucket le=2
+	NoteScan(5)   // bucket le=8
+	NoteScan(999) // +Inf bucket
+	after := Snapshot()
+	if got := after.Scans - before.Scans; got != 3 {
+		t.Fatalf("scans delta = %d, want 3", got)
+	}
+	if got := after.Partitions - before.Partitions; got != 2+5+999 {
+		t.Fatalf("partitions delta = %d, want %d", got, 2+5+999)
+	}
+	if d := after.Buckets[0] - before.Buckets[0]; d != 1 {
+		t.Fatalf("le=2 bucket delta = %d, want 1", d)
+	}
+	if d := after.Buckets[2] - before.Buckets[2]; d != 1 {
+		t.Fatalf("le=8 bucket delta = %d, want 1", d)
+	}
+	if d := after.Buckets[6] - before.Buckets[6]; d != 1 {
+		t.Fatalf("+Inf bucket delta = %d, want 1", d)
+	}
+	if len(PartitionBounds()) != len(after.Buckets)-1 {
+		t.Fatalf("bounds/buckets mismatch: %d vs %d", len(PartitionBounds()), len(after.Buckets))
+	}
+}

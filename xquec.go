@@ -180,14 +180,27 @@ func (db *Database) Decompress() ([]byte, error) {
 	return db.store.Serialize(nil, 1)
 }
 
+// QueryOptions configures one evaluation.
+type QueryOptions struct {
+	// Parallelism is the intra-query worker budget: partitioned decoding
+	// scans, structural joins and container fan-outs split their work
+	// across up to this many workers. 0 means GOMAXPROCS, 1 forces the
+	// serial path (mirroring Options.Parallelism on the compressor).
+	// Results are byte-identical at every setting, and partitioning only
+	// engages above per-operator work floors, so small queries never pay
+	// fan-out overhead.
+	Parallelism int
+}
+
 // run is the single evaluation entry point behind Query, QueryContext,
-// Prepared.Run and Prepared.RunContext: arm a fresh engine with ctx,
-// build the streaming cursor, and prime its first item so errors that
-// occur before any output — an expired deadline, an unbound variable,
-// a failing aggregate — surface here rather than on the first Next.
+// QueryWith, Prepared.Run, Prepared.RunContext and Prepared.RunWith:
+// arm a fresh engine with ctx and the worker budget, build the
+// streaming cursor, and prime its first item so errors that occur
+// before any output — an expired deadline, an unbound variable, a
+// failing aggregate — surface here rather than on the first Next.
 // Each call gets its own engine, so evaluation state is never shared.
-func (db *Database) run(ctx context.Context, expr xquery.Expr) (*Results, error) {
-	res, err := engine.New(db.store).WithContext(ctx).EvalStream(expr)
+func (db *Database) run(ctx context.Context, expr xquery.Expr, opts QueryOptions) (*Results, error) {
+	res, err := engine.New(db.store).WithContext(ctx).WithParallelism(opts.Parallelism).EvalStream(expr)
 	if err != nil {
 		return nil, tagErr(ErrEval, err)
 	}
@@ -210,11 +223,18 @@ func (db *Database) Query(q string) (*Results, error) {
 // aborts a long evaluation — or a long result iteration — with
 // ctx.Err() (context.DeadlineExceeded / Canceled).
 func (db *Database) QueryContext(ctx context.Context, q string) (*Results, error) {
+	return db.QueryWith(ctx, q, QueryOptions{})
+}
+
+// QueryWith is QueryContext with per-call evaluation options (worker
+// budget). Queries at different Parallelism settings return identical
+// results.
+func (db *Database) QueryWith(ctx context.Context, q string, opts QueryOptions) (*Results, error) {
 	expr, err := xquery.Parse(q)
 	if err != nil {
 		return nil, tagErr(ErrParse, err)
 	}
-	return db.run(ctx, expr)
+	return db.run(ctx, expr, opts)
 }
 
 // Prepare parses a query once for repeated execution, skipping the
@@ -241,10 +261,20 @@ type Prepared struct {
 func (p *Prepared) Text() string { return p.text }
 
 // Run evaluates the prepared query.
-func (p *Prepared) Run() (*Results, error) { return p.db.run(context.Background(), p.expr) }
+func (p *Prepared) Run() (*Results, error) {
+	return p.db.run(context.Background(), p.expr, QueryOptions{})
+}
 
 // RunContext evaluates the prepared query under ctx (see QueryContext).
-func (p *Prepared) RunContext(ctx context.Context) (*Results, error) { return p.db.run(ctx, p.expr) }
+func (p *Prepared) RunContext(ctx context.Context) (*Results, error) {
+	return p.db.run(ctx, p.expr, QueryOptions{})
+}
+
+// RunWith evaluates the prepared query under ctx with per-call options
+// (see QueryWith).
+func (p *Prepared) RunWith(ctx context.Context, opts QueryOptions) (*Results, error) {
+	return p.db.run(ctx, p.expr, opts)
+}
 
 // Explain renders the evaluation strategy for a query without running
 // it: summary accesses, compressed-domain predicate pushdowns, and the
