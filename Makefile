@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-paper
+.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-codec bench-paper fuzz-smoke
 
 check: vet build race bench ## tier-1: vet + build + race-clean tests + bench smoke
 
@@ -26,7 +26,7 @@ bench-serve:
 # Ingestion + decode + serving benchmarks with allocation counts; each
 # run appends one JSON record to BENCH_ingest.json for cross-commit
 # comparison.
-bench: bench-query bench-par
+bench: bench-query bench-par bench-codec
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
 	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
@@ -48,6 +48,27 @@ bench-par:
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkParQuery' -benchmem . \
 	| /tmp/benchjson -o BENCH_query_par.json -label query-parallel
+
+# Codec kernel microbenchmarks: per-codec encode/decode MB/s over the
+# XMark description container. Appends to BENCH_codec.json; the
+# DecodeCost constants in internal/costmodel are derived from these
+# records (see EXPERIMENTS.md).
+bench-codec:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkCodec(Encode|Decode)' -benchmem . \
+	| /tmp/benchjson -o BENCH_codec.json -label codec-kernels
+
+# Short fuzzing pass over the codec fuzz targets (roundtrip, order
+# preservation, decode-vs-reference). Not part of tier-1 `check`; the
+# targets' seed corpora still run under plain `go test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzHuffmanRoundtrip -fuzztime 5s ./internal/compress/huffman/
+	$(GO) test -run '^$$' -fuzz FuzzHuffmanDecodeGarbage -fuzztime 5s ./internal/compress/huffman/
+	$(GO) test -run '^$$' -fuzz FuzzHuTuckerRoundtrip -fuzztime 5s ./internal/compress/hutucker/
+	$(GO) test -run '^$$' -fuzz FuzzHuTuckerDecodeGarbage -fuzztime 5s ./internal/compress/hutucker/
+	$(GO) test -run '^$$' -fuzz FuzzALMRoundtrip -fuzztime 5s ./internal/compress/alm/
+	$(GO) test -run '^$$' -fuzz FuzzALMOrder -fuzztime 5s ./internal/compress/alm/
+	$(GO) test -run '^$$' -fuzz FuzzALMDecodeGarbage -fuzztime 5s ./internal/compress/alm/
 
 # Full paper benchmark suite (scaled-down in-test versions).
 bench-paper:

@@ -1,0 +1,165 @@
+package alm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func sameError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+func assertSameDecode(t *testing.T, c *Codec, enc []byte) {
+	t.Helper()
+	got, errGot := c.Decode(nil, enc)
+	ref, errRef := c.DecodeReference(nil, enc)
+	if !bytes.Equal(got, ref) || !sameError(errGot, errRef) {
+		t.Fatalf("decode mismatch on %x:\n fast %q err=%v\n ref  %q err=%v",
+			enc, got, errGot, ref, errRef)
+	}
+}
+
+// diffValues mixes corpus-like strings with unseen and binary values so
+// the automaton is tested inside and outside the mined distribution.
+func diffValues(rng *rand.Rand, corpus [][]byte, n int) [][]byte {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, corpus[rng.Intn(len(corpus))])
+		case 1: // mutated corpus value
+			v := append([]byte(nil), corpus[rng.Intn(len(corpus))]...)
+			if len(v) > 0 {
+				v[rng.Intn(len(v))] = byte(rng.Intn(256))
+			}
+			out = append(out, v)
+		case 2: // random binary, including NULs and 0xff
+			v := make([]byte, rng.Intn(40))
+			rng.Read(v)
+			out = append(out, v)
+		default: // random ASCII
+			v := make([]byte, rng.Intn(60))
+			for j := range v {
+				v[j] = byte(' ' + rng.Intn(95))
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestDifferentialAutomaton locks the encode automaton and flattened
+// decode table to the retained reference implementations:
+// byte-identical encodes, identical decodes, identical errors on
+// truncated and corrupt input.
+func TestDifferentialAutomaton(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	corpora := map[string][][]byte{
+		"prose": proseSample,
+	}
+
+	urls := make([][]byte, 200)
+	parts := []string{"http://", "www.", "example", ".com/", "item", "bid", "?id="}
+	for i := range urls {
+		var b []byte
+		for j := 0; j < 1+rng.Intn(6); j++ {
+			b = append(b, parts[rng.Intn(len(parts))]...)
+		}
+		urls[i] = b
+	}
+	corpora["urls"] = urls
+
+	binary := make([][]byte, 150)
+	for i := range binary {
+		b := make([]byte, rng.Intn(30))
+		for j := range b {
+			b[j] = byte(rng.Intn(8)) * 0x21 // sparse byte alphabet with 0x00
+		}
+		binary[i] = b
+	}
+	corpora["binary"] = binary
+
+	for name, corpus := range corpora {
+		t.Run(name, func(t *testing.T) {
+			c := train(t, corpus)
+			for _, v := range diffValues(rng, corpus, 400) {
+				enc, err := c.Encode(nil, v)
+				ref, errRef := c.EncodeReference(nil, v)
+				if !bytes.Equal(enc, ref) || !sameError(err, errRef) {
+					t.Fatalf("encode mismatch for %q:\n fast %x err=%v\n ref  %x err=%v",
+						v, enc, err, ref, errRef)
+				}
+				if err != nil {
+					continue
+				}
+				assertSameDecode(t, c, enc)
+				// Truncations at every byte boundary (for codeWidth 2 this
+				// includes odd lengths, which must error identically).
+				for cut := 0; cut < len(enc); cut++ {
+					assertSameDecode(t, c, enc[:cut])
+				}
+				// Corruptions, including codes pushed out of range.
+				for k := 0; k < 4 && len(enc) > 0; k++ {
+					bad := append([]byte(nil), enc...)
+					bad[rng.Intn(len(bad))] ^= byte(1 << uint(rng.Intn(8)))
+					assertSameDecode(t, c, bad)
+				}
+			}
+			// Pure-garbage code streams.
+			for k := 0; k < 100; k++ {
+				garbage := make([]byte, rng.Intn(12))
+				rng.Read(garbage)
+				assertSameDecode(t, c, garbage)
+			}
+		})
+	}
+}
+
+// TestSecondLevelIndexAgreesWithLocate cross-checks the automaton's
+// bucketed binary search against the reference locate() on adversarial
+// suffixes around every interval boundary.
+func TestSecondLevelIndexAgreesWithLocate(t *testing.T) {
+	corpus := make([][]byte, 0, 64)
+	for _, w := range []string{"their", "there", "these", "the", "them", "then",
+		"that", "this", "those", "thou", "through", "throw"} {
+		for i := 0; i < 5; i++ {
+			corpus = append(corpus, []byte(w))
+		}
+	}
+	c := train(t, corpus)
+	probe := func(s []byte) {
+		t.Helper()
+		want, err := c.locate(s)
+		if err != nil {
+			t.Fatalf("locate(%q): %v", s, err)
+		}
+		enc, encErr := c.Encode(nil, s)
+		refEnc, refErr := c.EncodeReference(nil, s)
+		if !sameError(encErr, refErr) || !bytes.Equal(enc, refEnc) {
+			t.Fatalf("probe %q: fast %x (%v) vs ref %x (%v); locate=%d",
+				s, enc, encErr, refEnc, refErr, want)
+		}
+	}
+	for i := range c.intervals {
+		lo := c.intervals[i].lo
+		probe(lo)
+		probe(append(append([]byte(nil), lo...), 0x00))
+		probe(append(append([]byte(nil), lo...), 0xff))
+		if n := len(lo); n > 0 {
+			below := append([]byte(nil), lo...)
+			if below[n-1] > 0 {
+				below[n-1]--
+				probe(below)
+			}
+			above := append([]byte(nil), lo...)
+			if above[n-1] < 0xff {
+				above[n-1]++
+				probe(above)
+			}
+		}
+	}
+}

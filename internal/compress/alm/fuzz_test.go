@@ -1,0 +1,96 @@
+package alm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+var fuzzCodec = sync.OnceValues(func() (*Codec, error) {
+	return Train([][]byte{
+		[]byte("there is a tide in the affairs of men"),
+		[]byte("their hearts and their minds"),
+		[]byte("these are the times that try souls"),
+		[]byte("http://www.example.com/item?id=42"),
+		{0x00, 0x01, 0xfe, 0xff},
+	}, DefaultMaxTokens)
+})
+
+// FuzzALMRoundtrip checks, for arbitrary byte strings, that the encode
+// automaton round-trips and agrees with the reference encoder and
+// decoder byte for byte. Seeds run under plain `go test`.
+func FuzzALMRoundtrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("their"))
+	f.Add([]byte("completely unseen Words 42!"))
+	f.Add([]byte{0x00, 0xff, 0x80})
+	f.Add(bytes.Repeat([]byte("the"), 30))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := fuzzCodec()
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		enc, err := c.Encode(nil, data)
+		ref, refErr := c.EncodeReference(nil, data)
+		if !bytes.Equal(enc, ref) || !sameError(err, refErr) {
+			t.Fatalf("encode mismatch for %q:\n fast %x err=%v\n ref  %x err=%v",
+				data, enc, err, ref, refErr)
+		}
+		if err != nil {
+			return
+		}
+		dec, err := c.Decode(nil, enc)
+		if err != nil || !bytes.Equal(dec, data) {
+			t.Fatalf("round trip %q -> %q (%v)", data, dec, err)
+		}
+		refDec, refDecErr := c.DecodeReference(nil, enc)
+		if refDecErr != nil || !bytes.Equal(refDec, data) {
+			t.Fatalf("reference decode %q -> %q (%v)", data, refDec, refDecErr)
+		}
+	})
+}
+
+// FuzzALMOrder asserts the headline ALM property on arbitrary pairs:
+// comparing encodings equals comparing plaintexts.
+func FuzzALMOrder(f *testing.F) {
+	f.Add([]byte("their"), []byte("there"))
+	f.Add([]byte("the"), []byte("their")) // proper prefix
+	f.Add([]byte(""), []byte("a"))
+	f.Add([]byte{0x00}, []byte{0x00, 0x00})
+	f.Add([]byte{0xff, 0xff}, []byte{0xff})
+	f.Fuzz(func(t *testing.T, x, y []byte) {
+		c, err := fuzzCodec()
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		encX, errX := c.Encode(nil, x)
+		encY, errY := c.Encode(nil, y)
+		if errX != nil || errY != nil {
+			t.Fatalf("encode: %v / %v", errX, errY)
+		}
+		if sign(bytes.Compare(encX, encY)) != sign(bytes.Compare(x, y)) {
+			t.Fatalf("order not preserved: cmp(%q,%q)=%d but cmp(%x,%x)=%d",
+				x, y, bytes.Compare(x, y), encX, encY, bytes.Compare(encX, encY))
+		}
+	})
+}
+
+// FuzzALMDecodeGarbage feeds arbitrary code streams to both decoders
+// and requires identical output and identical errors.
+func FuzzALMDecodeGarbage(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		c, err := fuzzCodec()
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		got, errGot := c.Decode(nil, enc)
+		ref, errRef := c.DecodeReference(nil, enc)
+		if !bytes.Equal(got, ref) || !sameError(errGot, errRef) {
+			t.Fatalf("decode mismatch on %x:\n fast %q err=%v\n ref  %q err=%v",
+				enc, got, errGot, ref, errRef)
+		}
+	})
+}

@@ -7,9 +7,21 @@
 // packing has the property that, for prefix-free codes, bytewise
 // comparison of the packed form equals bitwise comparison of the code
 // sequence, which the order-preserving coders rely on.
+//
+// Both ends run word-at-a-time: Writer.WriteBits ORs a whole
+// left-justified 64-bit window into the buffer instead of looping per
+// bit, and Reader keeps a 64-bit lookahead (Refill/Peek/Consume) so
+// table-driven decoders can classify a whole code with one load. The
+// bit-at-a-time entry points (WriteBit/ReadBit) are retained — they
+// interoperate with the word paths and serve as the differential-test
+// reference.
 package bitio
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
 
 // Writer accumulates bits MSB-first into an internal buffer.
 // The zero value is ready to use.
@@ -23,31 +35,80 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, sizeHint)}
 }
 
+// writerPool recycles Writers across encoded values; the entropy
+// coders' Encode grabs one per value, which used to be the dominant
+// ingestion allocation (see GetWriter).
+var writerPool = sync.Pool{New: func() interface{} { return new(Writer) }}
+
+// GetWriter returns a reset pooled Writer whose buffer holds at least
+// sizeHint bytes. Pair with PutWriter; the caller must copy Bytes()
+// out before returning the writer to the pool.
+func GetWriter(sizeHint int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	if cap(w.buf) < sizeHint {
+		w.buf = make([]byte, 0, sizeHint)
+	}
+	return w
+}
+
+// PutWriter returns a Writer obtained from GetWriter to the pool.
+func PutWriter(w *Writer) { writerPool.Put(w) }
+
 // WriteBit appends a single bit (0 or 1).
 func (w *Writer) WriteBit(bit uint) {
-	if w.nbit%8 == 0 {
-		w.buf = append(w.buf, 0)
-	}
-	if bit != 0 {
-		w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
-	}
-	w.nbit++
+	w.WriteBits(uint64(bit&1), 1)
 }
 
 // WriteBits appends the low n bits of v, most significant first.
 // n must be in [0, 64].
 func (w *Writer) WriteBits(v uint64, n int) {
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(uint(v>>uint(i)) & 1)
+	if n <= 0 {
+		return
 	}
+	if n < 64 {
+		v &= uint64(1)<<uint(n) - 1
+	}
+	off := w.nbit & 7
+	if off+n > 64 {
+		// Only possible for n > 57: split so each half fits one
+		// 64-bit window.
+		w.WriteBits(v>>32, n-32)
+		w.WriteBits(v&0xffffffff, 32)
+		return
+	}
+	// Left-justify v and shift it down to the current bit offset; the
+	// whole code then ORs into at most 8 consecutive bytes.
+	idx := w.nbit >> 3
+	end := (w.nbit + n + 7) >> 3
+	for len(w.buf) < end {
+		w.buf = append(w.buf, 0)
+	}
+	word := v << uint(64-n) >> uint(off)
+	for i := idx; word != 0; i++ {
+		w.buf[i] |= byte(word >> 56)
+		word <<= 8
+	}
+	w.nbit += n
 }
 
 // WriteCode appends a variable-length code given as packed bytes with an
 // explicit bit length, as produced by code tables.
 func (w *Writer) WriteCode(code []byte, nbits int) {
-	for i := 0; i < nbits; i++ {
-		w.WriteBit(uint(code[i/8]>>(7-uint(i%8))) & 1)
+	for nbits >= 32 {
+		w.WriteBits(uint64(binary.BigEndian.Uint32(code)), 32)
+		code = code[4:]
+		nbits -= 32
 	}
+	if nbits <= 0 {
+		return
+	}
+	var v uint64
+	nb := (nbits + 7) / 8
+	for i := 0; i < nb; i++ {
+		v = v<<8 | uint64(code[i])
+	}
+	w.WriteBits(v>>uint(8*nb-nbits), nbits)
 }
 
 // Len returns the number of bits written so far.
@@ -63,11 +124,17 @@ func (w *Writer) Reset() {
 	w.nbit = 0
 }
 
-// Reader consumes bits MSB-first from a byte slice.
+// Reader consumes bits MSB-first from a byte slice. It maintains a
+// 64-bit lookahead word so decoders can Peek several code lengths'
+// worth of bits at once: bits [pos, pos+ncur) sit left-justified in
+// cur, and Refill tops the word up from buf in (at most) 8-byte loads.
 type Reader struct {
-	buf []byte
-	pos int // bit position
-	end int // total bits available
+	buf  []byte
+	pos  int    // bit position of the next unconsumed bit
+	end  int    // total bits available
+	cur  uint64 // lookahead bits, left-justified
+	ncur int    // number of accounted bits in cur
+	next int    // index of the next byte of buf to load into cur
 }
 
 // NewReader returns a Reader over buf limited to nbits bits.
@@ -79,21 +146,71 @@ func NewReader(buf []byte, nbits int) *Reader {
 }
 
 // Init resets r to read buf, limited to nbits bits (negative means all
-// of buf). It lets decoders use a stack-allocated value Reader on hot
-// paths instead of heap-allocating one per call via NewReader.
+// of buf; values beyond 8*len(buf) are clamped). It lets decoders use a
+// stack-allocated value Reader on hot paths instead of heap-allocating
+// one per call via NewReader.
 func (r *Reader) Init(buf []byte, nbits int) {
-	if nbits < 0 {
+	if nbits < 0 || nbits > 8*len(buf) {
 		nbits = 8 * len(buf)
 	}
 	*r = Reader{buf: buf, end: nbits}
 }
 
+// Refill tops the lookahead word up to at least 57 bits, or to the end
+// of the input if fewer remain. Decoders call it once per symbol and
+// may then Peek/Consume up to 57 bits (MaxPeek) without further checks
+// against the physical buffer.
+func (r *Reader) Refill() {
+	if r.next+8 <= len(r.buf) {
+		// Load 8 bytes and account as many whole bytes as fit above the
+		// current fill level. The unaccounted low fragment holds correct
+		// upcoming stream bits; later refills OR the same values over it.
+		v := binary.BigEndian.Uint64(r.buf[r.next:])
+		r.cur |= v >> uint(r.ncur)
+		add := (64 - r.ncur) >> 3
+		r.next += add
+		r.ncur += add << 3
+		return
+	}
+	for r.ncur <= 56 && r.next < len(r.buf) {
+		r.cur |= uint64(r.buf[r.next]) << uint(56-r.ncur)
+		r.next++
+		r.ncur += 8
+	}
+}
+
+// MaxPeek is the largest n that Peek/Consume support between two
+// Refill calls.
+const MaxPeek = 57
+
+// Peek returns the next n bits (n ≤ MaxPeek) as the low bits of the
+// result without consuming them. Past the end of input the bits are
+// zero. Callers must Refill first and must bound any Consume that
+// follows by Remaining(); Peek itself never fails.
+func (r *Reader) Peek(n int) uint64 {
+	return r.cur >> (64 - uint(n))
+}
+
+// Consume advances the reader by n bits, which must have been made
+// available by the preceding Refill (n ≤ MaxPeek) and must not exceed
+// Remaining().
+func (r *Reader) Consume(n int) {
+	r.cur <<= uint(n)
+	r.ncur -= n
+	r.pos += n
+}
+
 // ReadBit returns the next bit, or an error at end of input.
 func (r *Reader) ReadBit() (uint, error) {
 	if r.pos >= r.end {
-		return 0, fmt.Errorf("bitio: read past end (%d bits)", r.end)
+		return 0, r.errPastEnd()
 	}
-	b := uint(r.buf[r.pos/8]>>(7-uint(r.pos%8))) & 1
+	if r.ncur <= 0 {
+		r.Refill()
+	}
+	b := uint(r.cur >> 63)
+	r.cur <<= 1
+	r.ncur--
 	r.pos++
 	return b, nil
 }
@@ -101,16 +218,35 @@ func (r *Reader) ReadBit() (uint, error) {
 // ReadBits reads n bits (n ≤ 64) MSB-first and returns them as the low
 // bits of the result.
 func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n > r.end-r.pos {
+		return 0, r.errPastEnd()
+	}
 	var v uint64
-	for i := 0; i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+	for n > 0 {
+		k := n
+		if k > 32 {
+			k = 32
 		}
-		v = v<<1 | uint64(b)
+		r.Refill()
+		v = v<<uint(k) | r.Peek(k)
+		r.Consume(k)
+		n -= k
 	}
 	return v, nil
 }
+
+// errPastEnd is the end-of-input error; ErrTruncated exposes it so
+// decoders can reproduce the exact bit-at-a-time error on their fast
+// paths.
+func (r *Reader) errPastEnd() error {
+	return fmt.Errorf("bitio: read past end (%d bits)", r.end)
+}
+
+// ErrTruncated returns the error ReadBit reports at end of input,
+// without consuming anything. Table-driven decoders use it when a
+// matched code extends past Remaining(), so the word-at-a-time and
+// bit-at-a-time kernels fail identically on truncated input.
+func (r *Reader) ErrTruncated() error { return r.errPastEnd() }
 
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return r.end - r.pos }

@@ -1,0 +1,70 @@
+package huffman
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// fuzzCodec trains one codec for all fuzz iterations; training inside
+// the fuzz function would dominate the run.
+var fuzzCodec = sync.OnceValues(func() (*Codec, error) {
+	return Train([][]byte{
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		[]byte("pack my box with five dozen liquor jugs"),
+		[]byte("<item id=\"42\"><name>gold watch</name></item>"),
+		{0x00, 0x01, 0xfe, 0xff},
+	})
+})
+
+// FuzzHuffmanRoundtrip checks, for arbitrary byte strings, that the
+// word-at-a-time kernels round-trip and agree with the bit-at-a-time
+// references byte for byte. Seeds run under plain `go test`.
+func FuzzHuffmanRoundtrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("the quick brown fox"))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x7f})
+	f.Add(bytes.Repeat([]byte("zq"), 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := fuzzCodec()
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		enc, err := c.Encode(nil, data)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", data, err)
+		}
+		if ref := encodeBitwise(c, data); !bytes.Equal(enc, ref) {
+			t.Fatalf("encode mismatch: fast %x ref %x", enc, ref)
+		}
+		dec, err := c.Decode(nil, enc)
+		if err != nil || !bytes.Equal(dec, data) {
+			t.Fatalf("round trip %q -> %q (%v)", data, dec, err)
+		}
+		ref, refErr := c.DecodeReference(nil, enc)
+		if refErr != nil || !bytes.Equal(ref, data) {
+			t.Fatalf("reference decode %q -> %q (%v)", data, ref, refErr)
+		}
+	})
+}
+
+// FuzzHuffmanDecodeGarbage feeds arbitrary bytes to both decoders and
+// requires identical output and identical errors.
+func FuzzHuffmanDecodeGarbage(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		c, err := fuzzCodec()
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		got, errGot := c.Decode(nil, enc)
+		ref, errRef := c.DecodeReference(nil, enc)
+		if !bytes.Equal(got, ref) || !sameError(errGot, errRef) {
+			t.Fatalf("decode mismatch on %x:\n fast %q err=%v\n ref  %q err=%v",
+				enc, got, errGot, ref, errRef)
+		}
+	})
+}

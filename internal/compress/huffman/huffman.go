@@ -12,6 +12,7 @@
 package huffman
 
 import (
+	"bytes"
 	"container/heap"
 	"errors"
 	"fmt"
@@ -25,6 +26,11 @@ const (
 	numSymbols = 257 // 256 byte values + EOS
 	eosSymbol  = 256
 	maxBits    = 57 // keep codes in a uint64 with room to spare
+
+	// tableBits sizes the primary decode table: one Peek(tableBits)
+	// classifies every code of length ≤ tableBits in a single lookup.
+	// Longer codes fall back to the canonical per-length scan.
+	tableBits = 11
 )
 
 func init() {
@@ -38,10 +44,14 @@ type Codec struct {
 	codes   [numSymbols]uint64 // canonical code, right-aligned
 	lengths [numSymbols]uint8  // code length in bits; 0 = symbol absent
 	// canonical decoding tables, indexed by code length 1..maxBits
-	firstCode   [maxBits + 1]uint64 // smallest code of this length
-	firstIndex  [maxBits + 1]int    // index into symByCode of that code
-	countAtLen  [maxBits + 1]int
-	symByCode   []uint16 // symbols in canonical code order
+	firstCode  [maxBits + 1]uint64 // smallest code of this length
+	firstIndex [maxBits + 1]int    // index into symByCode of that code
+	countAtLen [maxBits + 1]int
+	symByCode  []uint16 // symbols in canonical code order
+	// table is the primary word-at-a-time decode table: indexed by the
+	// next tableBits bits, each entry packs sym<<8 | codeLen for codes
+	// of length ≤ tableBits. Zero entries mark long codes (decodeLong).
+	table       [1 << tableBits]uint32
 	modelBytes  int
 	trainedSize int // total sample bytes, for stats
 }
@@ -202,6 +212,18 @@ func (c *Codec) buildCanonical() {
 		code++
 		prevLen = sl.l
 	}
+	// Primary decode table: every tableBits-bit window whose prefix is a
+	// short code maps straight to (symbol, length).
+	for _, sl := range order {
+		if sl.l > tableBits {
+			break // order is sorted by length; the rest are long codes
+		}
+		entry := uint32(sl.sym)<<8 | uint32(sl.l)
+		base := c.codes[sl.sym] << (tableBits - uint(sl.l))
+		for i := uint64(0); i < 1<<(tableBits-sl.l); i++ {
+			c.table[base+i] = entry
+		}
+	}
 	// model footprint: one length byte per symbol
 	c.modelBytes = numSymbols
 }
@@ -217,20 +239,24 @@ func (c *Codec) Props() compress.Properties {
 // ModelSize implements compress.Codec.
 func (c *Codec) ModelSize() int { return c.modelBytes }
 
-// DecodeCost implements compress.Codec. Huffman decodes bit by bit, which
-// is slower than dictionary coders that emit whole tokens.
+// DecodeCost implements compress.Codec. Huffman is the normalization
+// baseline (1.0) for the measured costs in BENCH_codec.json; even
+// table-driven, entropy decode is slower than dictionary coders that
+// emit whole tokens.
 func (c *Codec) DecodeCost() float64 { return 1.0 }
 
 // Encode implements compress.Codec. The encoded form is the bit
 // concatenation of the per-byte codes followed by the EOS code, packed
 // MSB-first and zero-padded to a byte boundary.
 func (c *Codec) Encode(dst, value []byte) ([]byte, error) {
-	w := bitio.NewWriter(len(value)/2 + 2)
+	w := bitio.GetWriter(len(value)/2 + 2)
 	for _, b := range value {
 		w.WriteBits(c.codes[b], int(c.lengths[b]))
 	}
 	w.WriteBits(c.codes[eosSymbol], int(c.lengths[eosSymbol]))
-	return append(dst, w.Bytes()...), nil
+	dst = append(dst, w.Bytes()...)
+	bitio.PutWriter(w)
+	return dst, nil
 }
 
 // EncodePrefix encodes value without the EOS terminator, returning the
@@ -241,7 +267,7 @@ func (c *Codec) EncodePrefix(value []byte) (bits []byte, nbits int) {
 	for _, b := range value {
 		w.WriteBits(c.codes[b], int(c.lengths[b]))
 	}
-	return w.Bytes(), w.Len()
+	return w.Bytes(), w.Len() // aliases w's buffer: not poolable
 }
 
 // MatchesPrefix reports whether the encoded value enc starts with the
@@ -251,10 +277,8 @@ func MatchesPrefix(enc, prefixBits []byte, nbits int) bool {
 		return false
 	}
 	full := nbits / 8
-	for i := 0; i < full; i++ {
-		if enc[i] != prefixBits[i] {
-			return false
-		}
+	if !bytes.Equal(enc[:full], prefixBits[:full]) {
+		return false
 	}
 	rem := nbits % 8
 	if rem == 0 {
@@ -264,14 +288,33 @@ func MatchesPrefix(enc, prefixBits []byte, nbits int) bool {
 	return enc[full]&mask == prefixBits[full]&mask
 }
 
-// Decode implements compress.Codec using canonical decoding.
+// Decode implements compress.Codec using table-driven canonical
+// decoding: one Peek(tableBits) classifies each short code, long codes
+// take the per-length canonical scan on the same peeked word. Because
+// a complete prefix-free code has exactly one match per bit window,
+// the result — including the error on truncated or corrupt input — is
+// identical to the bit-at-a-time DecodeReference.
 func (c *Codec) Decode(dst, enc []byte) ([]byte, error) {
 	// Value Reader + Init keeps the reader on the stack; NewReader would
 	// heap-allocate one per decoded value.
 	var r bitio.Reader
 	r.Init(enc, -1)
 	for {
-		sym, err := c.decodeSymbol(&r)
+		r.Refill()
+		if e := c.table[r.Peek(tableBits)]; e != 0 {
+			l := int(e & 0xff)
+			if l > r.Remaining() {
+				return dst, fmt.Errorf("huffman: truncated value: %w", r.ErrTruncated())
+			}
+			r.Consume(l)
+			sym := e >> 8
+			if sym == eosSymbol {
+				return dst, nil
+			}
+			dst = append(dst, byte(sym))
+			continue
+		}
+		sym, err := c.decodeLong(&r)
 		if err != nil {
 			return dst, err
 		}
@@ -282,7 +325,49 @@ func (c *Codec) Decode(dst, enc []byte) ([]byte, error) {
 	}
 }
 
-func (c *Codec) decodeSymbol(r *bitio.Reader) (int, error) {
+// decodeLong resolves a code longer than tableBits via the canonical
+// per-length tables, scanning the already-refilled lookahead word.
+func (c *Codec) decodeLong(r *bitio.Reader) (int, error) {
+	v := r.Peek(maxBits)
+	for l := tableBits + 1; l <= maxBits; l++ {
+		if n := c.countAtLen[l]; n > 0 {
+			code := v >> uint(maxBits-l)
+			first := c.firstCode[l]
+			if code >= first && code < first+uint64(n) {
+				if l > r.Remaining() {
+					return 0, fmt.Errorf("huffman: truncated value: %w", r.ErrTruncated())
+				}
+				r.Consume(l)
+				return int(c.symByCode[c.firstIndex[l]+int(code-first)]), nil
+			}
+		}
+	}
+	// Unreachable for complete codes (Kraft equality is enforced on
+	// load); mirror the reference decoder's two failure modes anyway.
+	if r.Remaining() < maxBits {
+		return 0, fmt.Errorf("huffman: truncated value: %w", r.ErrTruncated())
+	}
+	return 0, errors.New("huffman: invalid code")
+}
+
+// DecodeReference is the retained bit-at-a-time decoder. It is the
+// differential-test oracle for Decode and is not used on hot paths.
+func (c *Codec) DecodeReference(dst, enc []byte) ([]byte, error) {
+	var r bitio.Reader
+	r.Init(enc, -1)
+	for {
+		sym, err := c.decodeSymbolRef(&r)
+		if err != nil {
+			return dst, err
+		}
+		if sym == eosSymbol {
+			return dst, nil
+		}
+		dst = append(dst, byte(sym))
+	}
+}
+
+func (c *Codec) decodeSymbolRef(r *bitio.Reader) (int, error) {
 	var code uint64
 	for l := 1; l <= maxBits; l++ {
 		b, err := r.ReadBit()

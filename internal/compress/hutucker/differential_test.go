@@ -1,0 +1,159 @@
+package hutucker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"xquec/internal/compress/bitio"
+)
+
+// encodeBitwise is the bit-at-a-time reference encoder the
+// word-at-a-time Encode replaced: one WriteBit per code bit.
+func encodeBitwise(c *Codec, value []byte) []byte {
+	w := bitio.NewWriter(len(value)/2 + 2)
+	emit := func(code uint64, n int) {
+		for i := n - 1; i >= 0; i-- {
+			w.WriteBit(uint(code>>uint(i)) & 1)
+		}
+	}
+	for _, b := range value {
+		sym := int(b) + 1
+		emit(c.codes[sym], int(c.lengths[sym]))
+	}
+	emit(c.codes[0], int(c.lengths[0])) // EOS
+	return append([]byte(nil), w.Bytes()...)
+}
+
+func sameError(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+func assertSameDecode(t *testing.T, c *Codec, enc []byte) {
+	t.Helper()
+	got, errGot := c.Decode(nil, enc)
+	ref, errRef := c.DecodeReference(nil, enc)
+	if !bytes.Equal(got, ref) || !sameError(errGot, errRef) {
+		t.Fatalf("decode mismatch on %x:\n fast %q err=%v\n ref  %q err=%v",
+			enc, got, errGot, ref, errRef)
+	}
+}
+
+// TestDifferentialKernels locks the table-driven decode and batched
+// encode to the tree-walk reference: byte-identical encodes, identical
+// decodes, identical errors on truncated and bit-flipped input.
+func TestDifferentialKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	corpora := map[string][][]byte{}
+
+	prose := make([][]byte, 250)
+	words := []string{"person", "item", "open", "bid", "europe", "mail", "id"}
+	for i := range prose {
+		var b []byte
+		for j := 0; j < 1+rng.Intn(10); j++ {
+			b = append(b, words[rng.Intn(len(words))]...)
+			b = append(b, '/')
+		}
+		prose[i] = b
+	}
+	corpora["prose"] = prose
+
+	uniform := make([][]byte, 200)
+	for i := range uniform {
+		b := make([]byte, rng.Intn(70))
+		rng.Read(b)
+		uniform[i] = b
+	}
+	corpora["uniform"] = uniform
+
+	// Heavy skew forces rare symbols past tableBits, exercising the
+	// long-code subtree resume path.
+	skewed := make([][]byte, 300)
+	for i := range skewed {
+		b := make([]byte, 1+rng.Intn(50))
+		for j := range b {
+			if rng.Intn(1000) < 985 {
+				b[j] = 'e'
+			} else {
+				b[j] = byte(rng.Intn(256))
+			}
+		}
+		skewed[i] = b
+	}
+	corpora["skewed"] = skewed
+
+	for name, corpus := range corpora {
+		t.Run(name, func(t *testing.T) {
+			c := train(t, corpus)
+			for _, v := range corpus {
+				enc, err := c.Encode(nil, v)
+				if err != nil {
+					t.Fatalf("Encode(%q): %v", v, err)
+				}
+				if ref := encodeBitwise(c, v); !bytes.Equal(enc, ref) {
+					t.Fatalf("encode mismatch for %q:\n fast %x\n ref  %x", v, enc, ref)
+				}
+				assertSameDecode(t, c, enc)
+				for cut := 0; cut < len(enc); cut++ {
+					assertSameDecode(t, c, enc[:cut])
+				}
+				for k := 0; k < 4 && len(enc) > 0; k++ {
+					bad := append([]byte(nil), enc...)
+					bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+					assertSameDecode(t, c, bad)
+				}
+			}
+		})
+	}
+}
+
+// TestLongCodePathExercised trains on an extreme distribution (one
+// dominant symbol, everything else at the frequency floor) so rare
+// codes are pushed past tableBits, then differentially checks the
+// longNodes resume path against the tree-walk reference.
+func TestLongCodePathExercised(t *testing.T) {
+	// A doubling frequency ladder on adjacent symbols forces a chain
+	// rather than a balanced subtree, pushing rare codes deep.
+	var values [][]byte
+	for k := 0; k <= 16; k++ {
+		values = append(values, bytes.Repeat([]byte{byte('a' + k)}, 1<<k))
+	}
+	c := train(t, values)
+	deep := uint8(0)
+	for _, l := range c.lengths {
+		if l > deep {
+			deep = l
+		}
+	}
+	if deep <= tableBits {
+		t.Fatalf("deepest code %d ≤ tableBits %d; long path untested", deep, tableBits)
+	}
+	if len(c.longNodes) == 0 {
+		t.Fatal("no long-code subtrees recorded")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		v := make([]byte, rng.Intn(40))
+		for j := range v {
+			if rng.Intn(4) == 0 {
+				v[j] = 'e'
+			} else {
+				v[j] = byte(rng.Intn(256))
+			}
+		}
+		enc, err := c.Encode(nil, v)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if ref := encodeBitwise(c, v); !bytes.Equal(enc, ref) {
+			t.Fatalf("deep-code encode mismatch for %x", v)
+		}
+		assertSameDecode(t, c, enc)
+		for cut := 0; cut < len(enc); cut++ {
+			assertSameDecode(t, c, enc[:cut])
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package hutucker
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+var fuzzCodec = sync.OnceValues(func() (*Codec, error) {
+	return Train([][]byte{
+		[]byte("the quick brown fox jumps over the lazy dog"),
+		[]byte("person0 person1 person12 open_auction"),
+		[]byte("<bidder><date>11/17/2000</date></bidder>"),
+		{0x00, 0x01, 0xfe, 0xff},
+	})
+})
+
+// FuzzHuTuckerRoundtrip checks, for arbitrary byte strings, that the
+// table-driven kernels round-trip, agree with the tree-walk references,
+// and preserve byte order on encoded form. Seeds run under plain
+// `go test`.
+func FuzzHuTuckerRoundtrip(f *testing.F) {
+	f.Add([]byte(""), []byte("a"))
+	f.Add([]byte("abc"), []byte("abd"))
+	f.Add([]byte("ab"), []byte("abc")) // proper-prefix ordering
+	f.Add([]byte{0x00}, []byte{0xff})
+	f.Add(bytes.Repeat([]byte("zq"), 40), []byte("zq"))
+	f.Fuzz(func(t *testing.T, x, y []byte) {
+		c, err := fuzzCodec()
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		var encs [2][]byte
+		for i, data := range [][]byte{x, y} {
+			enc, err := c.Encode(nil, data)
+			if err != nil {
+				t.Fatalf("Encode(%q): %v", data, err)
+			}
+			if ref := encodeBitwise(c, data); !bytes.Equal(enc, ref) {
+				t.Fatalf("encode mismatch: fast %x ref %x", enc, ref)
+			}
+			dec, err := c.Decode(nil, enc)
+			if err != nil || !bytes.Equal(dec, data) {
+				t.Fatalf("round trip %q -> %q (%v)", data, dec, err)
+			}
+			ref, refErr := c.DecodeReference(nil, enc)
+			if refErr != nil || !bytes.Equal(ref, data) {
+				t.Fatalf("reference decode %q -> %q (%v)", data, ref, refErr)
+			}
+			encs[i] = enc
+		}
+		if sign(bytes.Compare(encs[0], encs[1])) != sign(bytes.Compare(x, y)) {
+			t.Fatalf("order not preserved: cmp(%q,%q)=%d but cmp(enc)=%d",
+				x, y, bytes.Compare(x, y), bytes.Compare(encs[0], encs[1]))
+		}
+	})
+}
+
+// FuzzHuTuckerDecodeGarbage feeds arbitrary bytes to both decoders and
+// requires identical output and identical errors.
+func FuzzHuTuckerDecodeGarbage(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, enc []byte) {
+		c, err := fuzzCodec()
+		if err != nil {
+			t.Fatalf("train: %v", err)
+		}
+		got, errGot := c.Decode(nil, enc)
+		ref, errRef := c.DecodeReference(nil, enc)
+		if !bytes.Equal(got, ref) || !sameError(errGot, errRef) {
+			t.Fatalf("decode mismatch on %x:\n fast %q err=%v\n ref  %q err=%v",
+				enc, got, errGot, ref, errRef)
+		}
+	})
+}
