@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-codec bench-paper fuzz-smoke
+.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-shard bench-codec bench-paper fuzz-smoke
 
 check: vet build race bench ## tier-1: vet + build + race-clean tests + bench smoke
 
@@ -26,7 +26,7 @@ bench-serve:
 # Ingestion + decode + serving benchmarks with allocation counts; each
 # run appends one JSON record to BENCH_ingest.json for cross-commit
 # comparison.
-bench: bench-query bench-par bench-codec
+bench: bench-query bench-par bench-shard bench-codec
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
 	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
@@ -48,6 +48,16 @@ bench-par:
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkParQuery' -benchmem . \
 	| /tmp/benchjson -o BENCH_query_par.json -label query-parallel
+
+# Scatter-gather benchmarks: a scatterable query through per-shard
+# fan-out + rank-ordered merge at 1/2/4/8 shards vs the unsharded
+# baseline, and the fused-fallback path. Appends to BENCH_shard.json.
+# Like bench-par, sharded speedups need a multi-core host; on one core
+# the sharded rows measure coordination + merge overhead.
+bench-shard:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkShard(Scatter|Fallback)' -benchmem . \
+	| /tmp/benchjson -o BENCH_shard.json -label shard-scatter
 
 # Codec kernel microbenchmarks: per-codec encode/decode MB/s over the
 # XMark description container. Appends to BENCH_codec.json; the

@@ -30,7 +30,6 @@ import (
 	"strings"
 
 	"xquec"
-	"xquec/internal/storage"
 )
 
 // Exit codes beyond the conventional 0/1/2, distinct so scripts can
@@ -82,19 +81,20 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] [-p workers] [-v] doc.xml
-  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] [-p workers] [-cpuprofile file] repo.xqc
-  xquec stats    repo.xqc
-  xquec explain  -q query repo.xqc
-  xquec decompress repo.xqc`)
+  xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] [-p workers] [-shards n] [-v] doc.xml
+  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] [-p workers] [-cpuprofile file] repo.xqc|set.xqcs
+  xquec stats    repo.xqc|set.xqcs
+  xquec explain  -q query repo.xqc|set.xqcs
+  xquec decompress repo.xqc|set.xqcs`)
 	os.Exit(2)
 }
 
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
-	out := fs.String("o", "", "output repository file (default: input + .xqc)")
+	out := fs.String("o", "", "output repository file (default: input + .xqc, or + .xqcs with -shards)")
 	alg := fs.String("alg", "", "default string algorithm (alm, huffman, hutucker, blob)")
 	par := fs.Int("p", 0, "compressor worker count (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	shards := fs.Int("shards", 0, "split into this many shard repositories with a shared dictionary (0 = single repository)")
 	verbose := fs.Bool("v", false, "print per-phase build timings")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,13 +111,22 @@ func cmdCompress(args []string) error {
 	if *alg != "" {
 		opts.Plan = &xquec.CompressionPlan{DefaultAlgorithm: *alg}
 	}
-	db, err := xquec.Compress(doc, opts)
+	var db *xquec.Database
+	if *shards > 0 {
+		db, err = xquec.CompressSharded(doc, *shards, opts)
+	} else {
+		db, err = xquec.Compress(doc, opts)
+	}
 	if err != nil {
 		return err
 	}
 	dst := *out
 	if dst == "" {
-		dst = in + ".xqc"
+		if *shards > 0 {
+			dst = in + ".xqcs"
+		} else {
+			dst = in + ".xqc"
+		}
 	}
 	if err := db.SaveFile(dst); err != nil {
 		return err
@@ -252,8 +261,16 @@ func cmdStats(args []string) error {
 		return err
 	}
 	fmt.Println(db.Stats())
+	if db.Sharded() {
+		fmt.Printf("shards: %d\n", db.Shards())
+	}
 	fmt.Println("containers:")
 	for _, c := range db.Containers() {
+		if db.Sharded() {
+			fmt.Printf("  [%03d] %-54s %-8s %-9s recs=%-7d %dB\n",
+				c.Shard, c.Path, c.Kind, c.Algorithm, c.Records, c.Bytes)
+			continue
+		}
 		fmt.Printf("  %-60s %-8s %-9s recs=%-7d %dB\n",
 			c.Path, c.Kind, c.Algorithm, c.Records, c.Bytes)
 	}
@@ -264,16 +281,15 @@ func cmdDecompress(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("decompress needs one repository file")
 	}
-	s, err := storage.OpenFile(args[0])
+	db, err := xquec.Open(args[0])
 	if err != nil {
 		return err
 	}
-	out, err := s.Serialize(nil, 1)
+	out, err := db.Decompress()
 	if err != nil {
 		return err
 	}
-	var sb strings.Builder
-	sb.Write(out)
-	fmt.Println(sb.String())
+	os.Stdout.Write(out)
+	fmt.Println()
 	return nil
 }

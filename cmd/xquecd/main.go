@@ -7,7 +7,14 @@
 //
 //	xquecd -repos ./repos [-addr :8090] [-pool 8] [-plans 256]
 //	       [-timeout 30s] [-max-concurrent 16] [-flush-items 32]
-//	       [-query-parallelism 1] [-pprof localhost:6060]
+//	       [-query-parallelism 1] [-partial-results] [-hedge 50ms]
+//	       [-shard-fanout 0] [-pprof localhost:6060]
+//
+// The repository directory may hold single repositories (name.xqc) and
+// shard-set manifests (name.xqcs, from `xquec compress -shards N`);
+// both are addressed by bare name. Scattered queries over shard sets
+// honor -partial-results, -hedge and -shard-fanout, and export
+// xquecd_shard_* metrics.
 //
 // API:
 //
@@ -45,6 +52,9 @@ func main() {
 	maxConc := flag.Int("max-concurrent", 0, "max concurrently evaluating queries (0 = 2×GOMAXPROCS)")
 	flushItems := flag.Int("flush-items", 32, "flush /query/stream responses every N items (first item always flushes)")
 	queryPar := flag.Int("query-parallelism", 1, "intra-query worker budget per query (1 = serial; requests may override with \"parallelism\")")
+	partial := flag.Bool("partial-results", false, "serve partial results when a shard fails on sharded repositories (requests may override with \"partial_results\")")
+	hedge := flag.Duration("hedge", 0, "re-dispatch a silent shard stream after this long on scattered queries (0 = off; requests may override with \"hedge_ms\")")
+	shardFanout := flag.Int("shard-fanout", 0, "max shards evaluating concurrently per scattered query (0 = all)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off")
 	flag.Parse()
 
@@ -61,6 +71,9 @@ func main() {
 		QueryTimeout:     *timeout,
 		FlushEvery:       *flushItems,
 		QueryParallelism: *queryPar,
+		PartialResults:   *partial,
+		HedgeAfter:       *hedge,
+		ShardFanout:      *shardFanout,
 	})
 	if err != nil {
 		log.Fatalf("xquecd: %v", err)

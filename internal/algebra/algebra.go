@@ -52,57 +52,30 @@ func MergeUnion(lists ...NodeSet) NodeSet {
 		return mergeTwo(lists[0], lists[1])
 	}
 	total := 0
-	heap := make([]mergeHead, 0, len(lists))
+	var heap KWayHeap[int]
 	for i, l := range lists {
 		total += len(l)
 		if len(l) > 0 {
-			heap = append(heap, mergeHead{id: l[0], list: i})
+			heap.Push(uint64(l[0]), i)
 		}
 	}
-	for i := len(heap)/2 - 1; i >= 0; i-- {
-		siftDown(heap, i)
-	}
+	heap.Init()
 	out := make(NodeSet, 0, total)
 	idx := make([]int, len(lists))
-	for len(heap) > 0 {
-		h := heap[0]
-		if len(out) == 0 || out[len(out)-1] != h.id {
-			out = append(out, h.id)
+	for heap.Len() > 0 {
+		key, li := heap.Min()
+		id := storage.NodeID(key)
+		if len(out) == 0 || out[len(out)-1] != id {
+			out = append(out, id)
 		}
-		idx[h.list]++
-		if l := lists[h.list]; idx[h.list] < len(l) {
-			heap[0].id = l[idx[h.list]]
+		idx[li]++
+		if l := lists[li]; idx[li] < len(l) {
+			heap.ReplaceMin(uint64(l[idx[li]]), li)
 		} else {
-			heap[0] = heap[len(heap)-1]
-			heap = heap[:len(heap)-1]
+			heap.PopMin()
 		}
-		siftDown(heap, 0)
 	}
 	return out
-}
-
-// mergeHead is one heap entry of the k-way merge: the current head
-// value of a list and which list it came from.
-type mergeHead struct {
-	id   storage.NodeID
-	list int
-}
-
-func siftDown(h []mergeHead, i int) {
-	for {
-		small := i
-		if l := 2*i + 1; l < len(h) && h[l].id < h[small].id {
-			small = l
-		}
-		if r := 2*i + 2; r < len(h) && h[r].id < h[small].id {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		h[i], h[small] = h[small], h[i]
-		i = small
-	}
 }
 
 // mergeTwo is the two-list linear union with dedup.

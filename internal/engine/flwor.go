@@ -101,7 +101,7 @@ func (e *Engine) evalFLWOR(x *xquery.FLWOR, env *scope) (Seq, error) {
 	err := e.flworEach(x, env, func(v Seq) error {
 		out = append(out, v...)
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +120,13 @@ func (e *Engine) evalFLWOR(x *xquery.FLWOR, env *scope) (Seq, error) {
 // predicate-side decompression for the tuples never reached). When the
 // FLWOR has an ORDER BY, chunks are necessarily buffered and emitted
 // after the sort.
-func (e *Engine) flworEach(x *xquery.FLWOR, env *scope, emit func(Seq) error) error {
+//
+// hook, when non-nil, observes the clause-0 FOR binding node before the
+// tuples derived from it are walked (the Engine.bindHook contract). It
+// is threaded explicitly — not read from the engine — so nested FLWORs
+// evaluated inside RETURN/WHERE (which go through evalFLWOR) never fire
+// the top-level hook.
+func (e *Engine) flworEach(x *xquery.FLWOR, env *scope, emit func(Seq) error, hook func(storage.NodeID)) error {
 	plan := planFLWOR(x)
 	var tuples []Seq // buffered return chunks when ordering
 	var keys []string
@@ -192,6 +198,11 @@ func (e *Engine) flworEach(x *xquery.FLWOR, env *scope, emit func(Seq) error) er
 				} else if !ok {
 					continue
 				}
+				if hook != nil && ci == 0 {
+					if id, isNode := it.(storage.NodeID); isNode {
+						hook(id)
+					}
+				}
 				if err := walk(ci+1, sub); err != nil {
 					return err
 				}
@@ -233,6 +244,9 @@ func (e *Engine) flworEach(x *xquery.FLWOR, env *scope, emit func(Seq) error) er
 				return err
 			} else if !ok {
 				continue
+			}
+			if hook != nil && ci == 0 {
+				hook(id)
 			}
 			if err := walk(ci+1, sub); err != nil {
 				return err

@@ -73,7 +73,7 @@ func (e *Engine) streamTop(expr xquery.Expr, env *scope, emit func(Item) bool) e
 				}
 			}
 			return nil
-		})
+		}, e.bindHook)
 	case *xquery.Sequence:
 		for _, sub := range x.Items {
 			if err := e.streamTop(sub, env, emit); err != nil {
@@ -110,7 +110,14 @@ func (e *Engine) streamPath(p *xquery.PathExpr, env *scope, emit func(Item) bool
 	}
 	if textTail {
 		stopped := false
+		i := 0
 		if err := algebra.TextContentEach(e.store, st.nodes, func(text string) bool {
+			// Texts map 1:1 to st.nodes in order; the owner element is
+			// the item's origin for the bind hook.
+			if e.bindHook != nil {
+				e.bindHook(st.nodes[i])
+			}
+			i++
 			stopped = !emit(text)
 			return !stopped
 		}); err != nil {
@@ -122,6 +129,9 @@ func (e *Engine) streamPath(p *xquery.PathExpr, env *scope, emit func(Item) bool
 		return nil
 	}
 	for _, id := range st.nodes {
+		if e.bindHook != nil {
+			e.bindHook(id)
+		}
 		if !emit(id) {
 			return errStopStream
 		}

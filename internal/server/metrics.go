@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xquec/internal/shard"
 	"xquec/internal/storage"
 	"xquec/internal/xpar"
 )
@@ -113,6 +114,19 @@ type Snapshot struct {
 	ParallelScans       int64 `json:"parallel_scans"`
 	ParallelPartitions  int64 `json:"parallel_partitions"`
 	ParallelWorkersBusy int64 `json:"parallel_workers_busy"`
+
+	// Scatter-gather tier activity (process-wide, from internal/shard):
+	// queries scattered vs run on the fused fallback, shard streams
+	// dispatched/failed, straggler hedges launched/won, cursors that
+	// completed partial, and total merged items.
+	ShardScatterQueries  int64 `json:"shard_scatter_queries"`
+	ShardFallbackQueries int64 `json:"shard_fallback_queries"`
+	ShardStreams         int64 `json:"shard_streams"`
+	ShardFailures        int64 `json:"shard_failures"`
+	ShardHedgesLaunched  int64 `json:"shard_hedges_launched"`
+	ShardHedgeWins       int64 `json:"shard_hedge_wins"`
+	ShardPartialResults  int64 `json:"shard_partial_results"`
+	ShardMergedItems     int64 `json:"shard_merged_items"`
 }
 
 // Snapshot captures the current counter values.
@@ -149,6 +163,15 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.ParallelScans = ps.Scans
 	s.ParallelPartitions = ps.Partitions
 	s.ParallelWorkersBusy = ps.Busy
+	ss := shard.Snapshot()
+	s.ShardScatterQueries = ss.ScatterQueries
+	s.ShardFallbackQueries = ss.FallbackQueries
+	s.ShardStreams = ss.ShardStreams
+	s.ShardFailures = ss.ShardFailures
+	s.ShardHedgesLaunched = ss.HedgesLaunched
+	s.ShardHedgeWins = ss.HedgeWins
+	s.ShardPartialResults = ss.PartialResults
+	s.ShardMergedItems = ss.MergedItems
 	return s
 }
 
@@ -200,6 +223,16 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "xquecd_parallel_scan_partitions_count %d\n", ps.Scans)
 	fmt.Fprintf(w, "# HELP xquecd_parallel_workers_busy Intra-query pool workers currently running.\n")
 	fmt.Fprintf(w, "# TYPE xquecd_parallel_workers_busy gauge\nxquecd_parallel_workers_busy %d\n", ps.Busy)
+
+	ss := shard.Snapshot()
+	counter("xquecd_shard_scatter_queries_total", "Queries scattered across shard workers.", ss.ScatterQueries)
+	counter("xquecd_shard_fallback_queries_total", "Sharded-repository queries evaluated on the fused store.", ss.FallbackQueries)
+	counter("xquecd_shard_streams_total", "Per-shard evaluation streams dispatched (hedges included).", ss.ShardStreams)
+	counter("xquecd_shard_failures_total", "Per-shard evaluation streams that failed.", ss.ShardFailures)
+	counter("xquecd_shard_hedges_launched_total", "Straggler hedge re-dispatches launched.", ss.HedgesLaunched)
+	counter("xquecd_shard_hedge_wins_total", "Hedge streams that beat their primary.", ss.HedgeWins)
+	counter("xquecd_shard_partial_results_total", "Scattered queries completed with a shard dropped.", ss.PartialResults)
+	counter("xquecd_shard_merged_items_total", "Items emitted by the scatter-gather merge.", ss.MergedItems)
 
 	fmt.Fprintf(w, "# HELP xquecd_in_flight_queries Queries currently evaluating.\n")
 	fmt.Fprintf(w, "# TYPE xquecd_in_flight_queries gauge\nxquecd_in_flight_queries %d\n", m.InFlight.Load())

@@ -8,11 +8,17 @@ import (
 )
 
 // PlanCache is an LRU cache of prepared (parsed) queries keyed by
-// (repository, query text), so a repeated workload query skips the
-// parser on every execution after the first. Prepared queries are
-// read-only after construction and every execution builds its own
-// engine state, so one cached entry serves any number of concurrent
-// requests.
+// (repository, topology, query text), so a repeated workload query
+// skips the parser on every execution after the first. Prepared
+// queries are read-only after construction and every execution builds
+// its own engine state, so one cached entry serves any number of
+// concurrent requests.
+//
+// The topology component is the database's TopologyKey — it pins the
+// plan to the repository *instance* (and, for shard sets, the shard
+// layout), so a plan prepared against an evicted-and-reloaded or
+// swapped repository can never be served against its successor: the
+// key misses and the query re-prepares against the new handle.
 type PlanCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -22,7 +28,7 @@ type PlanCache struct {
 	hits, misses, evictions int64
 }
 
-type planKey struct{ repo, query string }
+type planKey struct{ repo, topo, query string }
 
 type planEntry struct {
 	key  planKey
@@ -37,9 +43,9 @@ func NewPlanCache(capacity int) *PlanCache {
 	return &PlanCache{cap: capacity, entries: map[planKey]*list.Element{}, lru: list.New()}
 }
 
-// Get returns the cached plan for (repo, query), or nil.
-func (c *PlanCache) Get(repo, query string) *xquec.Prepared {
-	k := planKey{repo, query}
+// Get returns the cached plan for (repo, topo, query), or nil.
+func (c *PlanCache) Get(repo, topo, query string) *xquec.Prepared {
+	k := planKey{repo, topo, query}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
@@ -54,8 +60,8 @@ func (c *PlanCache) Get(repo, query string) *xquec.Prepared {
 
 // Put inserts a plan, evicting the least recently used entry when the
 // cache is full.
-func (c *PlanCache) Put(repo, query string, prep *xquec.Prepared) {
-	k := planKey{repo, query}
+func (c *PlanCache) Put(repo, topo, query string, prep *xquec.Prepared) {
+	k := planKey{repo, topo, query}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {

@@ -22,28 +22,28 @@ func testPrepared(t *testing.T, q string) *xquec.Prepared {
 
 func TestPlanCacheHitMissEvict(t *testing.T) {
 	c := NewPlanCache(2)
-	if c.Get("r", "q1") != nil {
+	if c.Get("r", "t", "q1") != nil {
 		t.Fatal("empty cache hit")
 	}
 	p1 := testPrepared(t, `count(/doc/a)`)
-	c.Put("r", "q1", p1)
-	if got := c.Get("r", "q1"); got != p1 {
+	c.Put("r", "t", "q1", p1)
+	if got := c.Get("r", "t", "q1"); got != p1 {
 		t.Fatal("missing after Put")
 	}
-	if c.Get("other", "q1") != nil {
+	if c.Get("other", "t", "q1") != nil {
 		t.Fatal("plans must be per-repo")
 	}
-	c.Put("r", "q2", testPrepared(t, `count(/doc)`))
-	c.Get("r", "q1")                                   // touch q1: q2 becomes LRU
-	c.Put("r", "q3", testPrepared(t, `/doc/a/text()`)) // evicts q2
+	c.Put("r", "t", "q2", testPrepared(t, `count(/doc)`))
+	c.Get("r", "t", "q1")                                   // touch q1: q2 becomes LRU
+	c.Put("r", "t", "q3", testPrepared(t, `/doc/a/text()`)) // evicts q2
 	st := c.Stats()
 	if st.Entries != 2 || st.Evictions != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if c.Get("r", "q2") != nil {
+	if c.Get("r", "t", "q2") != nil {
 		t.Fatal("q2 should be the evicted entry (q1 was more recently used)")
 	}
-	if c.Get("r", "q1") == nil || c.Get("r", "q3") == nil {
+	if c.Get("r", "t", "q1") == nil || c.Get("r", "t", "q3") == nil {
 		t.Fatal("q1/q3 should survive")
 	}
 }
@@ -51,15 +51,15 @@ func TestPlanCacheHitMissEvict(t *testing.T) {
 func TestPlanCacheInvalidate(t *testing.T) {
 	c := NewPlanCache(8)
 	for i := 0; i < 3; i++ {
-		c.Put("a", fmt.Sprintf("q%d", i), testPrepared(t, `count(/doc/a)`))
+		c.Put("a", "t", fmt.Sprintf("q%d", i), testPrepared(t, `count(/doc/a)`))
 	}
-	c.Put("b", "q0", testPrepared(t, `count(/doc/a)`))
+	c.Put("b", "t", "q0", testPrepared(t, `count(/doc/a)`))
 	c.Invalidate("a")
 	st := c.Stats()
 	if st.Entries != 1 {
 		t.Fatalf("entries = %d after invalidate", st.Entries)
 	}
-	if c.Get("b", "q0") == nil {
+	if c.Get("b", "t", "q0") == nil {
 		t.Fatal("other repo's plans dropped")
 	}
 }
@@ -67,8 +67,8 @@ func TestPlanCacheInvalidate(t *testing.T) {
 func TestPlanCacheExecutableEntries(t *testing.T) {
 	c := NewPlanCache(4)
 	p := testPrepared(t, `count(/doc/a)`)
-	c.Put("r", p.Text(), p)
-	got := c.Get("r", p.Text())
+	c.Put("r", "t", p.Text(), p)
+	got := c.Get("r", "t", p.Text())
 	res, err := got.Run()
 	if err != nil {
 		t.Fatal(err)

@@ -63,12 +63,22 @@ func NewPool(dir string, capacity int) *Pool {
 }
 
 // repoPath maps a repository name to its file, rejecting names that
-// escape the directory.
+// escape the directory. A name resolves to its single-repository file
+// (name.xqc) when that exists, else to its shard-set manifest
+// (name.xqcs) — one namespace serves both layouts.
 func (p *Pool) repoPath(name string) (string, error) {
 	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
 		return "", fmt.Errorf("server: invalid repository name %q", name)
 	}
-	return filepath.Join(p.dir, name+".xqc"), nil
+	single := filepath.Join(p.dir, name+".xqc")
+	if _, err := os.Stat(single); err == nil {
+		return single, nil
+	}
+	manifest := filepath.Join(p.dir, name+".xqcs")
+	if _, err := os.Stat(manifest); err == nil {
+		return manifest, nil
+	}
+	return single, nil
 }
 
 // Get returns the open repository for name, loading it if necessary.
@@ -131,18 +141,36 @@ func (p *Pool) Resident() []string {
 }
 
 // Available lists the repository names present in the pool's directory
-// (files with the .xqc extension), sorted.
+// — .xqc repositories and .xqcs shard-set manifests (per-shard
+// *.shard-NNN.xqc files belong to their manifest and are not listed
+// separately), sorted and deduplicated.
 func (p *Pool) Available() ([]string, error) {
 	des, err := os.ReadDir(p.dir)
 	if err != nil {
 		return nil, fmt.Errorf("server: list repositories: %w", err)
 	}
+	seen := map[string]bool{}
 	var names []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
 	for _, de := range des {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), ".xqc") {
+		if de.IsDir() {
 			continue
 		}
-		names = append(names, strings.TrimSuffix(de.Name(), ".xqc"))
+		switch {
+		case strings.HasSuffix(de.Name(), ".xqcs"):
+			add(strings.TrimSuffix(de.Name(), ".xqcs"))
+		case strings.HasSuffix(de.Name(), ".xqc"):
+			base := strings.TrimSuffix(de.Name(), ".xqc")
+			if i := strings.LastIndex(base, ".shard-"); i >= 0 {
+				continue // a manifest's shard file, addressed via the manifest
+			}
+			add(base)
+		}
 	}
 	sort.Strings(names)
 	return names, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -124,5 +125,118 @@ func TestPoolAvailable(t *testing.T) {
 	}
 	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
 		t.Fatalf("names = %v", names)
+	}
+}
+
+// TestPoolEvictionDuringStream proves the eviction contract the pool's
+// doc-comment promises: evicting (and even swapping on disk) a
+// repository while a streaming query holds its cursor must not corrupt
+// the stream — the cursor pins the old immutable handle; only new Gets
+// see the replacement.
+func TestPoolEvictionDuringStream(t *testing.T) {
+	dir := t.TempDir()
+	var doc strings.Builder
+	doc.WriteString("<doc>")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&doc, "<a>v%d</a>", i)
+	}
+	doc.WriteString("</doc>")
+	writeRepo(t, dir, "victim", doc.String())
+	writeRepo(t, dir, "other0", "<doc><a>x</a></doc>")
+	writeRepo(t, dir, "other1", "<doc><a>y</a></doc>")
+	p := NewPool(dir, 1) // capacity 1: any other Get evicts the victim
+
+	db, _, err := p.Get("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`/doc/a/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	// Read a few items, then evict the handle and swap the on-disk file
+	// for a different corpus mid-stream.
+	for i := 0; i < 10; i++ {
+		item, ok, err := res.Next()
+		if err != nil || !ok {
+			t.Fatalf("item %d: ok=%v err=%v", i, ok, err)
+		}
+		if xml, _ := item.XML(); xml != fmt.Sprintf("v%d", i) {
+			t.Fatalf("item %d = %q", i, xml)
+		}
+	}
+	p.Get("other0")
+	p.Get("other1")
+	if len(p.Resident()) != 1 || p.Resident()[0] == "victim" {
+		t.Fatalf("victim still resident: %v", p.Resident())
+	}
+	writeRepo(t, dir, "victim", "<doc><a>SWAPPED</a></doc>")
+	swapped, cached, err := p.Get("victim")
+	if err != nil || cached {
+		t.Fatalf("reload: cached=%v err=%v", cached, err)
+	}
+	if swapped == db {
+		t.Fatal("reload returned the evicted handle")
+	}
+	if out, _ := swapped.MustQuery(`/doc/a/text()`).SerializeXML(); out != "SWAPPED" {
+		t.Fatalf("swapped repo = %q", out)
+	}
+
+	// The original cursor keeps streaming the original corpus.
+	for i := 10; i < 200; i++ {
+		item, ok, err := res.Next()
+		if err != nil || !ok {
+			t.Fatalf("post-evict item %d: ok=%v err=%v", i, ok, err)
+		}
+		if xml, _ := item.XML(); xml != fmt.Sprintf("v%d", i) {
+			t.Fatalf("post-evict item %d = %q", i, xml)
+		}
+	}
+	if _, ok, err := res.Next(); ok || err != nil {
+		t.Fatalf("stream should end cleanly: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPlanCacheTopologyKeyPreventsStalePlans drives the full
+// pool + plan-cache swap sequence through Server.resolve's keying
+// discipline: a plan prepared against the first handle must not be
+// served for the reloaded one, because TopologyKey changes with the
+// instance.
+func TestPlanCacheTopologyKeyPreventsStalePlans(t *testing.T) {
+	dir := t.TempDir()
+	writeRepo(t, dir, "r", "<doc><a>old</a></doc>")
+	p := NewPool(dir, 1)
+	plans := NewPlanCache(8)
+	const q = `/doc/a/text()`
+
+	db1, _, err := p.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep1, err := db1.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans.Put("r", db1.TopologyKey(), q, prep1)
+
+	// Evict, swap on disk, reload.
+	writeRepo(t, dir, "evictor", "<doc><a>z</a></doc>")
+	p.Get("evictor")
+	writeRepo(t, dir, "r", "<doc><a>new</a></doc>")
+	db2, _, err := p.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.TopologyKey() == db1.TopologyKey() {
+		t.Fatal("reloaded handle has the same topology key")
+	}
+	if got := plans.Get("r", db2.TopologyKey(), q); got != nil {
+		t.Fatal("stale plan served for the reloaded repository")
+	}
+	// The old key still resolves (for in-flight uses of the old handle).
+	if got := plans.Get("r", db1.TopologyKey(), q); got != prep1 {
+		t.Fatal("original plan lost")
 	}
 }

@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"xquec/internal/datagen"
+	"xquec/internal/engine"
+	"xquec/internal/storage"
+	"xquec/internal/xmarkq"
+	"xquec/internal/xquery"
+)
+
+func xmarkDoc(t *testing.T) []byte {
+	t.Helper()
+	return datagen.XMark(datagen.XMarkConfig{Scale: 0.05, Seed: 41})
+}
+
+// unshardedXML evaluates the query on a single whole-corpus store.
+func unshardedXML(t *testing.T, src []byte, query string) string {
+	t.Helper()
+	st, err := storage.Load(src, storage.LoadOptions{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	expr, err := xquery.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := engine.New(st).EvalStream(expr)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	defer res.Close()
+	var sb strings.Builder
+	if _, err := res.WriteXML(&sb); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	return sb.String()
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	src := xmarkDoc(t)
+	for _, shards := range []int{1, 2, 4, 8} {
+		set, err := Build(src, shards, storage.LoadOptions{})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		fusedXML, err := set.FuseXML()
+		if err != nil {
+			t.Fatalf("shards=%d fuse: %v", shards, err)
+		}
+		// The fused XML must re-ingest into a store equivalent to the
+		// original: compare canonical serializations.
+		orig, err := storage.Load(src, storage.LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := storage.Load(fusedXML, storage.LoadOptions{})
+		if err != nil {
+			t.Fatalf("shards=%d reload fused: %v", shards, err)
+		}
+		a, err := orig.Serialize(nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fused.Serialize(nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("shards=%d: fused corpus differs from original (%d vs %d bytes)", shards, len(a), len(b))
+		}
+	}
+}
+
+func TestScatterMatchesUnsharded(t *testing.T) {
+	src := xmarkDoc(t)
+	queries := append(xmarkq.Queries(), xmarkq.ExtendedQueries()...)
+	want := map[string]string{}
+	for _, q := range queries {
+		want[q.ID] = unshardedXML(t, src, q.Text)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		set, err := Build(src, shards, storage.LoadOptions{})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		co := NewCoordinator(set)
+		for _, q := range queries {
+			expr, err := xquery.Parse(q.Text)
+			if err != nil {
+				t.Fatalf("%s: %v", q.ID, err)
+			}
+			dec := Analyze(expr, set)
+			if !dec.Scatter {
+				t.Logf("shards=%d %s: fallback (%s)", shards, q.ID, dec.Reason)
+				continue
+			}
+			cur, err := co.Scatter(context.Background(), q.Text, Options{})
+			if err != nil {
+				t.Fatalf("shards=%d %s: scatter: %v", shards, q.ID, err)
+			}
+			var sb strings.Builder
+			if _, err := cur.WriteXML(&sb); err != nil {
+				t.Fatalf("shards=%d %s: merge: %v", shards, q.ID, err)
+			}
+			cur.Close()
+			if sb.String() != want[q.ID] {
+				t.Errorf("shards=%d %s: scattered result differs from unsharded\n got: %.200q\nwant: %.200q",
+					shards, q.ID, sb.String(), want[q.ID])
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"xquec/internal/engine"
+	"xquec/internal/storage"
+	"xquec/internal/xquery"
+)
+
+// Request is one shard evaluation request. The fields are plain data —
+// query text and scalar knobs — so the same request can cross an RPC
+// boundary unchanged. The parsed form rides along as an unexported
+// in-process optimization (compile once, fan out N times); a remote
+// worker simply re-parses the text.
+type Request struct {
+	// Query is the query text.
+	Query string
+	// Parallelism is the shard-local intra-query worker budget
+	// (engine.WithParallelism semantics; 0 = GOMAXPROCS).
+	Parallelism int
+
+	expr xquery.Expr // coordinator-parsed AST; nil forces a parse
+}
+
+// Item is one shard result item: its global document-order rank and
+// its serialized XML/text. Serialization happens shard-side — failure
+// isolation demands that a corrupt shard fail inside its own worker,
+// not during the merge — and bytes are what an RPC worker would ship
+// anyway.
+type Item struct {
+	Rank uint64
+	XML  []byte
+}
+
+// Stream is one shard's ordered result stream. Ranks are strictly
+// non-decreasing; items sharing a binding share a rank and stay
+// adjacent.
+type Stream interface {
+	// Next returns the next item; ok=false ends the stream. A non-nil
+	// error is terminal.
+	Next() (Item, bool, error)
+	// Close releases the evaluation; safe after exhaustion.
+	Close() error
+}
+
+// Worker evaluates requests against one shard. Implementations must
+// allow concurrent Query calls (the coordinator hedges stragglers by
+// re-dispatching to the same worker). The interface is deliberately
+// RPC-shaped: everything in is serializable, everything out is
+// (rank, bytes) pairs.
+type Worker interface {
+	// Shard returns the worker's shard index.
+	Shard() int
+	// Query starts an evaluation. ctx cancellation must abort it.
+	Query(ctx context.Context, req Request) (Stream, error)
+}
+
+// Workers returns the set's in-process workers (one per shard),
+// building them on first use.
+func (s *Set) Workers() []Worker {
+	s.workersOnce.Do(func() {
+		s.workers = make([]Worker, len(s.Stores))
+		for i := range s.Stores {
+			s.workers[i] = &inprocWorker{set: s, shard: i}
+		}
+	})
+	return s.workers
+}
+
+// inprocWorker evaluates on a goroutine against the local shard store.
+type inprocWorker struct {
+	set   *Set
+	shard int
+
+	mu    sync.Mutex
+	plans map[string]xquery.Expr
+}
+
+func (w *inprocWorker) Shard() int { return w.shard }
+
+func (w *inprocWorker) Query(ctx context.Context, req Request) (Stream, error) {
+	expr := req.expr
+	if expr == nil {
+		var err error
+		if expr, err = w.plan(req.Query); err != nil {
+			return nil, err
+		}
+	}
+	st := &inprocStream{w: w}
+	eng := engine.New(w.set.Stores[w.shard]).
+		WithContext(ctx).
+		WithParallelism(req.Parallelism).
+		WithBindHook(func(id storage.NodeID) { st.origin = id })
+	res, err := eng.EvalStream(expr)
+	if err != nil {
+		return nil, err
+	}
+	st.res = res
+	return st, nil
+}
+
+// plan caches parsed queries per worker (the in-process stand-in for a
+// remote worker's plan cache).
+func (w *inprocWorker) plan(query string) (xquery.Expr, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if expr, ok := w.plans[query]; ok {
+		return expr, nil
+	}
+	expr, err := xquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if w.plans == nil {
+		w.plans = map[string]xquery.Expr{}
+	}
+	w.plans[query] = expr
+	return expr, nil
+}
+
+// inprocStream adapts an engine result to the Stream interface,
+// stamping each item with its subtree rank. origin is written by the
+// engine's bind hook strictly before the item it belongs to is
+// yielded, and the evaluation coroutine only advances inside Next, so
+// reading origin after Next is race-free.
+type inprocStream struct {
+	w      *inprocWorker
+	res    *engine.Result
+	origin storage.NodeID
+}
+
+func (s *inprocStream) Next() (Item, bool, error) {
+	it, ok, err := s.res.Next()
+	if err != nil || !ok {
+		return Item{}, false, err
+	}
+	if s.origin == 0 {
+		return Item{}, false, fmt.Errorf("shard: item has no binding origin (query was not scatter-analyzed?)")
+	}
+	rank, inSubtree := s.w.set.rankOf(s.w.shard, s.origin)
+	if !inSubtree {
+		return Item{}, false, fmt.Errorf("shard: binding %d of shard %d is a spine node", s.origin, s.w.shard)
+	}
+	xml, err := s.res.AppendItemXML(nil, it)
+	if err != nil {
+		return Item{}, false, err
+	}
+	return Item{Rank: rank, XML: xml}, true, nil
+}
+
+func (s *inprocStream) Close() error { return s.res.Close() }

@@ -27,6 +27,13 @@ type LoadOptions struct {
 	// repositories: every unit of fan-out work is a pure function of its
 	// inputs and results are placed by index, not completion order.
 	Parallelism int
+	// Dictionary pre-seeds the name dictionary before the SAX pass, in
+	// the given order. Shard-set ingestion uses this to give every shard
+	// repository one shared dictionary (identical name codes for the same
+	// tag across shards) even when a shard never sees some of the tags.
+	// Names encountered during the parse that are already pre-seeded keep
+	// their seeded code; new names append after the seed.
+	Dictionary []string
 }
 
 // Load parses an XML document and builds the compressed repository.
@@ -48,6 +55,9 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 		OriginalSize: len(src),
 	}
 	s.Build.Parallelism = par
+	for _, name := range opts.Dictionary {
+		s.intern(name)
+	}
 	sum := &Summary{}
 	s.Sum = sum
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"xquec/internal/engine"
+	"xquec/internal/shard"
 )
 
 // Results is a query result sequence, consumed as a pull-based cursor:
@@ -28,20 +29,32 @@ import (
 //
 // A Results is a single-consumer cursor. The Database it came from may
 // serve any number of concurrent queries, each with its own Results.
+//
+// On a sharded database a scattered query is backed by the
+// coordinator's merging cursor instead of a single engine evaluation;
+// the API and the item sequence are identical, and Partial reports
+// whether any shard was dropped under the partial-results policy.
 type Results struct {
 	res *engine.Result
+	cur *shard.Cursor
 }
 
 // Item is one result item. It is a lightweight handle — a stored node
 // reference, atom, or constructed fragment — whose value bytes are
-// decompressed only when XML/AppendXML is called.
+// decompressed only when XML/AppendXML is called. Items from a
+// scattered query arrive serialized (shards decompress on their side);
+// XML/AppendXML then just copy bytes.
 type Item struct {
 	res *engine.Result
 	it  engine.Item
+	xml []byte
 }
 
 // XML renders the item as XML/text.
 func (it Item) XML() (string, error) {
+	if it.res == nil {
+		return string(it.xml), nil
+	}
 	b, err := it.res.AppendItemXML(nil, it.it)
 	if err != nil {
 		return "", tagErr(ErrEval, err)
@@ -53,6 +66,9 @@ func (it Item) XML() (string, error) {
 // the extended slice — the allocation-free form of XML for consumers
 // reusing one buffer across items.
 func (it Item) AppendXML(dst []byte) ([]byte, error) {
+	if it.res == nil {
+		return append(dst, it.xml...), nil
+	}
 	b, err := it.res.AppendItemXML(dst, it.it)
 	return b, tagErr(ErrEval, err)
 }
@@ -62,6 +78,13 @@ func (it Item) AppendXML(dst []byte) ([]byte, error) {
 // context's error after cancellation) are sticky: every later call
 // returns the same error.
 func (r *Results) Next() (Item, bool, error) {
+	if r.cur != nil {
+		xml, ok, err := r.cur.Next()
+		if err != nil {
+			return Item{}, false, tagErr(ErrEval, err)
+		}
+		return Item{xml: xml}, ok, nil
+	}
 	it, ok, err := r.res.Next()
 	if err != nil {
 		return Item{}, false, tagErr(ErrEval, err)
@@ -74,19 +97,39 @@ func (r *Results) Next() (Item, bool, error) {
 // state is a single item regardless of result cardinality. It returns
 // the number of bytes written and drains the cursor.
 func (r *Results) WriteXML(w io.Writer) (int, error) {
+	if r.cur != nil {
+		n, err := r.cur.WriteXML(w)
+		return n, tagErr(ErrEval, err)
+	}
 	n, err := r.res.WriteXML(w)
 	return n, tagErr(ErrEval, err)
 }
 
 // Close stops the evaluation and releases pooled buffers. Items not
 // yet consumed are discarded. Close is idempotent.
-func (r *Results) Close() error { return r.res.Close() }
+func (r *Results) Close() error {
+	if r.cur != nil {
+		return r.cur.Close()
+	}
+	return r.res.Close()
+}
 
 // Len returns the total number of result items. On a not-yet-consumed
 // streaming result this forces the remaining evaluation (items are
 // buffered, not lost); when streaming large results, prefer counting
 // Next calls instead.
-func (r *Results) Len() int { return r.res.Len() }
+func (r *Results) Len() int {
+	if r.cur != nil {
+		return r.cur.Len()
+	}
+	return r.res.Len()
+}
+
+// Partial reports whether any shard's results were dropped under the
+// partial-results policy (QueryOptions.PartialResults on a sharded
+// database). It is definitive once the cursor is exhausted; false for
+// every non-scattered query.
+func (r *Results) Partial() bool { return r.cur != nil && r.cur.Partial() }
 
 // SerializeXML renders the remaining items as XML/text, one item per
 // line.

@@ -33,9 +33,13 @@ package xquec
 import (
 	"context"
 	"fmt"
+	"os"
+	"strings"
+	"time"
 
 	"xquec/internal/costmodel"
 	"xquec/internal/engine"
+	"xquec/internal/shard"
 	"xquec/internal/storage"
 	"xquec/internal/workload"
 	"xquec/internal/xquery"
@@ -85,10 +89,56 @@ type Options struct {
 // never written after Load/Open).
 type Database struct {
 	store *storage.Store
+
+	// set and coord are non-nil for sharded databases (CompressSharded /
+	// Open on a shard-set manifest): the corpus lives in N shard
+	// repositories sharing one name dictionary, scatterable queries fan
+	// out across them, and everything else runs on the lazily fused
+	// single store (db.fused).
+	set   *shard.Set
+	coord *shard.Coordinator
 }
 
 // Compress parses and compresses an XML document into a Database.
 func Compress(doc []byte, opts Options) (*Database, error) {
+	plan, err := resolvePlan(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := storage.Load(doc, storage.LoadOptions{Plan: plan, Parallelism: opts.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return fromStore(s), nil
+}
+
+// CompressSharded is Compress targeting the scatter-gather serving
+// tier: the document splits into `shards` shard repositories at a
+// subtree boundary (round-robin over the partition-level subtrees),
+// all sharing one name dictionary, opened together as one logical
+// Database. Queries over it behave exactly like queries over
+// Compress's single repository — scatterable ones fan out across the
+// shards, the rest run on a fused view — and return identical results.
+// Workload-driven compression choices apply per shard.
+func CompressSharded(doc []byte, shards int, opts Options) (*Database, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("xquec: shard count %d < 1", shards)
+	}
+	plan, err := resolvePlan(doc, opts)
+	if err != nil {
+		return nil, err
+	}
+	set, err := shard.Build(doc, shards, storage.LoadOptions{Plan: plan, Parallelism: opts.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return fromSet(set), nil
+}
+
+// resolvePlan turns Options into a compression plan (nil = per-type
+// defaults): explicit Plan wins, otherwise the workload-driven
+// cost-model search runs.
+func resolvePlan(doc []byte, opts Options) (*CompressionPlan, error) {
 	plan := opts.Plan
 	w := opts.Workload
 	if len(opts.WorkloadQueries) > 0 {
@@ -108,11 +158,7 @@ func Compress(doc []byte, opts Options) (*Database, error) {
 		}
 		plan = p
 	}
-	s, err := storage.Load(doc, storage.LoadOptions{Plan: plan, Parallelism: opts.Parallelism})
-	if err != nil {
-		return nil, err
-	}
-	return fromStore(s), nil
+	return plan, nil
 }
 
 // PlanFromWorkload runs the cost-model search (similarity matrix,
@@ -146,13 +192,43 @@ func WorkloadFromQueries(queries ...string) (*Workload, error) {
 	return workload.FromQueries(queries...)
 }
 
-// Open loads a Database previously saved with SaveFile.
+// Open loads a Database previously saved with SaveFile — a single
+// repository or a shard-set manifest (either detected by content, so a
+// serving pool can open both kinds through one call).
 func Open(path string) (*Database, error) {
+	if sharded, err := isManifest(path); err != nil {
+		return nil, openErr(fmt.Errorf("xquec: open repository %s: %w", path, err))
+	} else if sharded {
+		set, err := shard.OpenSet(path)
+		if err != nil {
+			return nil, openErr(fmt.Errorf("xquec: open shard set %s: %w", path, err))
+		}
+		return fromSet(set), nil
+	}
 	s, err := storage.OpenFile(path)
 	if err != nil {
 		return nil, openErr(fmt.Errorf("xquec: open repository %s: %w", path, err))
 	}
 	return fromStore(s), nil
+}
+
+// isManifest sniffs whether path is a shard-set manifest: by extension
+// first, then by leading byte (manifests are JSON objects, repositories
+// start with the XQCR magic).
+func isManifest(path string) (bool, error) {
+	if strings.HasSuffix(path, shard.ManifestExt) {
+		return true, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.Read(b[:]); err != nil {
+		return false, err
+	}
+	return b[0] == '{', nil
 }
 
 // OpenBytes loads a Database from serialized bytes.
@@ -168,15 +244,74 @@ func fromStore(s *storage.Store) *Database {
 	return &Database{store: s}
 }
 
-// SaveFile persists the database.
-func (db *Database) SaveFile(path string) error { return db.store.SaveFile(path) }
+func fromSet(set *shard.Set) *Database {
+	return &Database{set: set, coord: shard.NewCoordinator(set)}
+}
 
-// Bytes serializes the database.
-func (db *Database) Bytes() []byte { return db.store.AppendBinary(nil) }
+// Sharded reports whether the database is a shard set.
+func (db *Database) Sharded() bool { return db.set != nil }
+
+// Shards returns the shard count (1 for a single repository).
+func (db *Database) Shards() int {
+	if db.set != nil {
+		return db.set.Shards()
+	}
+	return 1
+}
+
+// TopologyKey identifies the repository instance and its shard
+// topology for cache keying: plan caches must include it so prepared
+// statements never outlive a swap to a repository with a different
+// store or shard layout.
+func (db *Database) TopologyKey() string {
+	if db.set != nil {
+		return fmt.Sprintf("set=%p;%s", db.set, db.set.TopologyKey())
+	}
+	return fmt.Sprintf("store=%p", db.store)
+}
+
+// fused returns the single-store view: the store itself, or the shard
+// set's lazily reconstructed fusion.
+func (db *Database) fused(parallelism int) (*storage.Store, error) {
+	if db.set == nil {
+		return db.store, nil
+	}
+	s, err := db.set.Fused(parallelism)
+	if err != nil {
+		return nil, tagErr(ErrCorruptRepository, err)
+	}
+	return s, nil
+}
+
+// SaveFile persists the database: one repository file, or — for a
+// sharded database — the manifest at path plus one repository file per
+// shard next to it.
+func (db *Database) SaveFile(path string) error {
+	if db.set != nil {
+		return db.set.Save(path)
+	}
+	return db.store.SaveFile(path)
+}
+
+// Bytes serializes the database. For a sharded database this is the
+// fused single-repository serialization (shard sets are a multi-file
+// layout; use SaveFile to persist one); nil if fusion fails.
+func (db *Database) Bytes() []byte {
+	s, err := db.fused(0)
+	if err != nil {
+		return nil
+	}
+	return s.AppendBinary(nil)
+}
 
 // Decompress reconstructs the original XML document (modulo
-// insignificant whitespace) from the compressed repository.
+// insignificant whitespace) from the compressed repository — for a
+// sharded database, by re-interleaving the partitioned subtrees in
+// global document order.
 func (db *Database) Decompress() ([]byte, error) {
+	if db.set != nil {
+		return db.set.FuseXML()
+	}
 	return db.store.Serialize(nil, 1)
 }
 
@@ -190,6 +325,23 @@ type QueryOptions struct {
 	// engages above per-operator work floors, so small queries never pay
 	// fan-out overhead.
 	Parallelism int
+
+	// PartialResults, on a sharded database, keeps a scattered query
+	// alive when individual shards fail: the failed shard's items are
+	// dropped, the rest merge normally, and Results.Partial reports
+	// true. The default (false) is fail-fast — any shard failure fails
+	// the query. Context expiry always fails the query under either
+	// policy. Ignored for single-repository databases and for queries
+	// that fall back to the fused store.
+	PartialResults bool
+	// HedgeAfter, on a sharded database, re-dispatches a shard whose
+	// stream has produced nothing for this long (straggler hedging);
+	// the first evaluation to deliver wins and the other is cancelled.
+	// Results are identical with or without hedging. 0 disables.
+	HedgeAfter time.Duration
+	// ShardFanout bounds how many shards evaluate concurrently on a
+	// sharded database. 0 means all shards at once.
+	ShardFanout int
 }
 
 // run is the single evaluation entry point behind Query, QueryContext,
@@ -199,8 +351,38 @@ type QueryOptions struct {
 // before any output — an expired deadline, an unbound variable, a
 // failing aggregate — surface here rather than on the first Next.
 // Each call gets its own engine, so evaluation state is never shared.
-func (db *Database) run(ctx context.Context, expr xquery.Expr, opts QueryOptions) (*Results, error) {
-	res, err := engine.New(db.store).WithContext(ctx).WithParallelism(opts.Parallelism).EvalStream(expr)
+//
+// On a sharded database the scatter analyzer decides the path: provably
+// decomposable queries fan out across the shards and merge in global
+// document order; the rest run on the fused single-store view. Both
+// paths return byte-identical results to a single-repository database
+// over the same corpus.
+func (db *Database) run(ctx context.Context, q string, expr xquery.Expr, opts QueryOptions) (*Results, error) {
+	st := db.store
+	if db.set != nil {
+		if dec := shard.Analyze(expr, db.set); dec.Scatter {
+			cur, err := db.coord.ScatterExpr(ctx, q, expr, shard.Options{
+				Partial:     opts.PartialResults,
+				HedgeAfter:  opts.HedgeAfter,
+				Fanout:      opts.ShardFanout,
+				Parallelism: opts.Parallelism,
+			})
+			if err != nil {
+				return nil, tagErr(ErrEval, err)
+			}
+			if err := cur.Prime(); err != nil {
+				cur.Close()
+				return nil, tagErr(ErrEval, err)
+			}
+			return &Results{cur: cur}, nil
+		}
+		shard.CountFallback()
+		var err error
+		if st, err = db.fused(opts.Parallelism); err != nil {
+			return nil, err
+		}
+	}
+	res, err := engine.New(st).WithContext(ctx).WithParallelism(opts.Parallelism).EvalStream(expr)
 	if err != nil {
 		return nil, tagErr(ErrEval, err)
 	}
@@ -234,7 +416,7 @@ func (db *Database) QueryWith(ctx context.Context, q string, opts QueryOptions) 
 	if err != nil {
 		return nil, tagErr(ErrParse, err)
 	}
-	return db.run(ctx, expr, opts)
+	return db.run(ctx, q, expr, opts)
 }
 
 // Prepare parses a query once for repeated execution, skipping the
@@ -262,25 +444,45 @@ func (p *Prepared) Text() string { return p.text }
 
 // Run evaluates the prepared query.
 func (p *Prepared) Run() (*Results, error) {
-	return p.db.run(context.Background(), p.expr, QueryOptions{})
+	return p.db.run(context.Background(), p.text, p.expr, QueryOptions{})
 }
 
 // RunContext evaluates the prepared query under ctx (see QueryContext).
 func (p *Prepared) RunContext(ctx context.Context) (*Results, error) {
-	return p.db.run(ctx, p.expr, QueryOptions{})
+	return p.db.run(ctx, p.text, p.expr, QueryOptions{})
 }
 
 // RunWith evaluates the prepared query under ctx with per-call options
 // (see QueryWith).
 func (p *Prepared) RunWith(ctx context.Context, opts QueryOptions) (*Results, error) {
-	return p.db.run(ctx, p.expr, opts)
+	return p.db.run(ctx, p.text, p.expr, opts)
 }
 
 // Explain renders the evaluation strategy for a query without running
 // it: summary accesses, compressed-domain predicate pushdowns, and the
 // join strategies (compressed merge join vs decompressing hash join).
+// On a sharded database the scatter decision leads, followed by the
+// per-shard plan (shard repositories share one summary shape, so shard
+// 0's plan is every shard's plan).
 func (db *Database) Explain(q string) (string, error) {
-	return engine.New(db.store).Explain(q)
+	if db.set == nil {
+		return engine.New(db.store).Explain(q)
+	}
+	expr, err := xquery.Parse(q)
+	if err != nil {
+		return "", tagErr(ErrParse, err)
+	}
+	var head string
+	if dec := shard.Analyze(expr, db.set); dec.Scatter {
+		head = fmt.Sprintf("scatter across %d shards, merge by document order\n", db.set.Shards())
+	} else {
+		head = fmt.Sprintf("no scatter (%s); evaluate on fused store\n", dec.Reason)
+	}
+	plan, err := engine.New(db.set.Stores[0]).Explain(q)
+	if err != nil {
+		return "", err
+	}
+	return head + plan, nil
 }
 
 // MustQuery is Query for examples and tests; it panics on error.
@@ -293,28 +495,65 @@ func (db *Database) MustQuery(q string) *Results {
 }
 
 // CompressionFactor is the paper's CF metric: 1 − compressed/original
-// for the serialized repository.
-func (db *Database) CompressionFactor() float64 { return db.store.CompressionFactor() }
+// for the serialized repository (summed over the shards when sharded).
+func (db *Database) CompressionFactor() float64 {
+	if db.set == nil {
+		return db.store.CompressionFactor()
+	}
+	s := db.Stats()
+	if s.OriginalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.CompressedBytes)/float64(s.OriginalBytes)
+}
 
-// Stats summarizes the database.
+// Stats summarizes the database; for a sharded database the sizes and
+// counts aggregate over all shard repositories (spine duplication means
+// a shard set carries slightly more nodes than the single repository).
 func (db *Database) Stats() Stats {
-	f := db.store.Footprint()
+	if db.set == nil {
+		return storeStats(db.store, db.store.OriginalSize)
+	}
+	agg := Stats{OriginalBytes: db.set.Man.OriginalSize}
+	for _, st := range db.set.Stores {
+		s := storeStats(st, 0)
+		agg.CompressedBytes += s.CompressedBytes
+		agg.Nodes += s.Nodes
+		agg.Containers += s.Containers
+		agg.SourceModels += s.SourceModels
+		agg.SummaryNodes += s.SummaryNodes
+		agg.InMemoryTotal += s.InMemoryTotal
+		agg.InMemoryMinimal += s.InMemoryMinimal
+	}
+	return agg
+}
+
+func storeStats(st *storage.Store, original int) Stats {
+	f := st.Footprint()
+	if original == 0 {
+		original = st.OriginalSize
+	}
 	return Stats{
-		OriginalBytes:   db.store.OriginalSize,
-		CompressedBytes: len(db.store.AppendBinary(nil)),
-		Nodes:           db.store.NumNodes(),
-		Containers:      len(db.store.Containers),
-		SourceModels:    len(db.store.Models),
-		SummaryNodes:    len(db.store.Sum.Nodes()),
+		OriginalBytes:   original,
+		CompressedBytes: len(st.AppendBinary(nil)),
+		Nodes:           st.NumNodes(),
+		Containers:      len(st.Containers),
+		SourceModels:    len(st.Models),
+		SummaryNodes:    len(st.Sum.Nodes()),
 		InMemoryTotal:   f.Total(),
 		InMemoryMinimal: f.Minimal(),
 	}
 }
 
 // IngestStats reports the compressor pipeline's phase timings and
-// worker count for this database. Zero for databases opened from disk —
-// the timings describe a Compress run, not the repository itself.
+// worker count for this database (shard 0's pipeline when sharded —
+// shards ingest concurrently, so one shard's wall time is
+// representative). Zero for databases opened from disk — the timings
+// describe a Compress run, not the repository itself.
 func (db *Database) IngestStats() storage.BuildStats {
+	if db.set != nil {
+		return db.set.Stores[0].Build
+	}
 	return db.store.Build
 }
 
@@ -345,12 +584,30 @@ type ContainerInfo struct {
 	Group     string
 	Records   int
 	Bytes     int // compressed payload
+	Shard     int // owning shard (0 for single-repository databases)
 }
 
-// Containers lists the database's value containers.
+// Containers lists the database's value containers. For a sharded
+// database the listing concatenates every shard's containers (Shard
+// identifies the owner; the same path appears once per shard holding
+// values for it).
 func (db *Database) Containers() []ContainerInfo {
-	out := make([]ContainerInfo, 0, len(db.store.Containers))
-	for _, c := range db.store.Containers {
+	if db.set != nil {
+		var out []ContainerInfo
+		for si, st := range db.set.Stores {
+			for _, ci := range storeContainers(st) {
+				ci.Shard = si
+				out = append(out, ci)
+			}
+		}
+		return out
+	}
+	return storeContainers(db.store)
+}
+
+func storeContainers(st *storage.Store) []ContainerInfo {
+	out := make([]ContainerInfo, 0, len(st.Containers))
+	for _, c := range st.Containers {
 		out = append(out, ContainerInfo{
 			Path:      c.Path,
 			Kind:      c.Kind.String(),
