@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-shard bench-codec bench-paper fuzz-smoke
+.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-shard bench-codec bench-vm bench-paper fuzz-smoke
 
 check: vet build race bench ## tier-1: vet + build + race-clean tests + bench smoke
 
@@ -26,7 +26,7 @@ bench-serve:
 # Ingestion + decode + serving benchmarks with allocation counts; each
 # run appends one JSON record to BENCH_ingest.json for cross-commit
 # comparison.
-bench: bench-query bench-par bench-shard bench-codec
+bench: bench-query bench-par bench-shard bench-codec bench-vm
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
 	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
@@ -68,6 +68,15 @@ bench-codec:
 	$(GO) test -run '^$$' -bench 'BenchmarkCodec(Encode|Decode)' -benchmem . \
 	| /tmp/benchjson -o BENCH_codec.json -label codec-kernels
 
+# Compiled-plan engine benchmarks: the same streaming/predicate
+# workloads on the stack VM vs the tree-walking oracle (per-item
+# dispatch cost, first-item latency, allocs). Appends to BENCH_vm.json;
+# the before/after record lives in EXPERIMENTS.md.
+bench-vm:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkVM(Stream|FirstResult|Predicate)' -benchmem . \
+	| /tmp/benchjson -o BENCH_vm.json -label vm-dispatch
+
 # Short fuzzing pass over the codec fuzz targets (roundtrip, order
 # preservation, decode-vs-reference). Not part of tier-1 `check`; the
 # targets' seed corpora still run under plain `go test`.
@@ -79,6 +88,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzALMRoundtrip -fuzztime 5s ./internal/compress/alm/
 	$(GO) test -run '^$$' -fuzz FuzzALMOrder -fuzztime 5s ./internal/compress/alm/
 	$(GO) test -run '^$$' -fuzz FuzzALMDecodeGarbage -fuzztime 5s ./internal/compress/alm/
+	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 5s ./internal/vm/
 
 # Full paper benchmark suite (scaled-down in-test versions).
 bench-paper:

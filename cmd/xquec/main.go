@@ -5,7 +5,7 @@
 //
 //	xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
 //	xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max]
-//	               [-p workers] [-cpuprofile out.pprof] repo.xqc
+//	               [-p workers] [-cpuprofile out.pprof] [-explain] repo.xqc
 //	xquec stats    repo.xqc
 //	xquec decompress repo.xqc        # reconstruct the XML
 //
@@ -82,7 +82,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] [-p workers] [-shards n] [-v] doc.xml
-  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] [-p workers] [-cpuprofile file] repo.xqc|set.xqcs
+  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] [-p workers] [-cpuprofile file] [-explain] repo.xqc|set.xqcs
   xquec stats    repo.xqc|set.xqcs
   xquec explain  -q query repo.xqc|set.xqcs
   xquec decompress repo.xqc|set.xqcs`)
@@ -149,6 +149,7 @@ func cmdQuery(args []string) error {
 	maxItems := fs.Int("n", 0, "stop after this many result items (0 = all); stops evaluation too")
 	par := fs.Int("p", 0, "intra-query worker count (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the evaluation to this file")
+	explain := fs.Bool("explain", false, "print the access plan and compiled program instead of evaluating")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,6 +169,9 @@ func cmdQuery(args []string) error {
 	db, err := xquec.Open(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *explain {
+		return printExplain(db, *q)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -244,11 +248,27 @@ func cmdExplain(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := db.Explain(*q)
+	return printExplain(db, *q)
+}
+
+// printExplain writes the tree-walker access plan followed by the
+// compiled stack-VM program (when the query compiles) — the pair
+// `xquec query -explain` and `xquec explain` both print.
+func printExplain(db *xquec.Database, q string) error {
+	plan, err := db.Explain(q)
 	if err != nil {
 		return err
 	}
 	fmt.Print(plan)
+	prog, err := db.ExplainProgram(q)
+	if err != nil {
+		return err
+	}
+	if prog == "" {
+		fmt.Println("\ncompiled program: none (tree-walker fallback)")
+		return nil
+	}
+	fmt.Printf("\ncompiled program (engine=%s):\n%s", xquec.EvalEngine(), prog)
 	return nil
 }
 

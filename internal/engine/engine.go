@@ -365,8 +365,14 @@ func (e *Engine) evalCtor(x *xquery.ElementCtor, env *scope) (Seq, error) {
 // avoid boxing and re-sorting the domain; otherwise the generic
 // sequence is returned.
 func (e *Engine) evalBindingSeq(expr xquery.Expr, env *scope) (Seq, algebra.NodeSet, []*storage.SummaryNode, error) {
+	return e.bindingSeqPre(expr, env, nil)
+}
+
+// bindingSeqPre is evalBindingSeq with optional precomputed per-step
+// summary targets for the path case (see evalPathNodesPre).
+func (e *Engine) bindingSeqPre(expr xquery.Expr, env *scope, pre [][]*storage.SummaryNode) (Seq, algebra.NodeSet, []*storage.SummaryNode, error) {
 	if p, isPath := expr.(*xquery.PathExpr); isPath {
-		st, textTail, err := e.evalPathNodes(p, env)
+		st, textTail, err := e.evalPathNodesPre(p, env, pre)
 		if err != nil {
 			if err == errNonNodePath {
 				v, err2 := e.eval(expr, env)

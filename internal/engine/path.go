@@ -26,7 +26,13 @@ type pathState struct {
 
 // evalPath evaluates a path expression to a sequence.
 func (e *Engine) evalPath(p *xquery.PathExpr, env *scope) (Seq, error) {
-	st, textTail, err := e.evalPathNodes(p, env)
+	return e.evalPathPre(p, env, nil)
+}
+
+// evalPathPre is evalPath with optional per-step precomputed summary
+// targets (see evalPathNodesPre).
+func (e *Engine) evalPathPre(p *xquery.PathExpr, env *scope, pre [][]*storage.SummaryNode) (Seq, error) {
+	st, textTail, err := e.evalPathNodesPre(p, env, pre)
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +58,17 @@ func (e *Engine) evalPath(p *xquery.PathExpr, env *scope) (Seq, error) {
 // step is text(), textTail is true and the returned nodes are the text
 // owners.
 func (e *Engine) evalPathNodes(p *xquery.PathExpr, env *scope) (pathState, bool, error) {
+	return e.evalPathNodesPre(p, env, nil)
+}
+
+// evalPathNodesPre is evalPathNodes with optional precomputed per-step
+// summary targets: pre[i], when non-nil, replaces the summaryTargets
+// call for step i (the bytecode compiler resolves step targets against
+// the structure summary once at compile time instead of per tuple).
+// Every other decision — exactness, predicate evaluation, structural
+// moves — is taken by the same code as the plain path, so results are
+// identical by construction.
+func (e *Engine) evalPathNodesPre(p *xquery.PathExpr, env *scope, pre [][]*storage.SummaryNode) (pathState, bool, error) {
 	st, err := e.pathOrigin(p, env)
 	if err != nil {
 		return pathState{}, false, err
@@ -75,7 +92,11 @@ func (e *Engine) evalPathNodes(p *xquery.PathExpr, env *scope) (pathState, bool,
 			st.nodes = withText
 			return st, true, nil
 		}
-		st, err = e.applyStep(st, i == 0 && p.Var == "" /* fromDocument */, step, env)
+		var tg []*storage.SummaryNode
+		if pre != nil && i < len(pre) {
+			tg = pre[i]
+		}
+		st, err = e.applyStep(st, i == 0 && p.Var == "" /* fromDocument */, step, env, tg)
 		if err != nil {
 			return pathState{}, false, err
 		}
@@ -216,8 +237,13 @@ func (e *Engine) summaryTargets(sums []*storage.SummaryNode, fromDocument bool, 
 }
 
 // applyStep applies one structural step (element or attribute test).
-func (e *Engine) applyStep(st pathState, fromDocument bool, step xquery.Step, env *scope) (pathState, error) {
-	targets := e.summaryTargets(st.sums, fromDocument, step)
+// pre, when non-nil, is the step's precomputed summary-target set (same
+// value summaryTargets would return — the compiler resolves it once).
+func (e *Engine) applyStep(st pathState, fromDocument bool, step xquery.Step, env *scope, pre []*storage.SummaryNode) (pathState, error) {
+	targets := pre
+	if targets == nil {
+		targets = e.summaryTargets(st.sums, fromDocument, step)
+	}
 	next := pathState{sums: targets}
 	if len(targets) == 0 {
 		return next, nil
@@ -670,6 +696,13 @@ func (e *Engine) matchOwners(sums []*storage.SummaryNode, rel *xquery.PathExpr, 
 	if !ok {
 		return nil, false, nil
 	}
+	return e.matchOwnersConts(conts, complete, op, literal, par)
+}
+
+// matchOwnersConts is the scan half of matchOwners, taking an already
+// resolved container set (the bytecode compiler resolves relValueTarget
+// statically and calls in here per execution).
+func (e *Engine) matchOwnersConts(conts []*storage.Container, complete bool, op, literal string, par int) (algebra.NodeSet, bool, error) {
 	// An instance without a text value still atomizes to the string ""
 	// (an empty element's string value), which matches != and <-style
 	// comparisons — but has no container record. When such instances

@@ -1,0 +1,188 @@
+package engine
+
+// vmops exports the evaluator's internals to the bytecode VM
+// (internal/vm). The VM's compiler resolves structure-summary targets
+// and predicate containers at compile time and its run loop drives
+// binding iteration directly, but every set-at-a-time operation — path
+// navigation, compressed-domain container matches, join indexes,
+// per-tuple expression evaluation — runs through the same engine code
+// the tree walker uses, so the two evaluators are byte-identical by
+// construction wherever the VM delegates here.
+
+import (
+	"context"
+
+	"xquec/internal/algebra"
+	"xquec/internal/storage"
+	"xquec/internal/xquery"
+)
+
+// Env is an exported handle on the evaluation environment (variable
+// bindings plus their summary-node provenance). The VM keeps one Env
+// per run and rebinds variables in place as its cursors advance; the
+// engine never mutates an Env passed to it (nested FLWOR evaluation
+// clones internally), so in-place rebinding is safe.
+type Env struct{ s *scope }
+
+// NewEnv returns a fresh, empty environment.
+func (e *Engine) NewEnv() *Env { return &Env{s: newScope()} }
+
+// Reset drops every binding (the VM emits a reset at each top-level
+// block boundary so sibling blocks cannot see each other's variables,
+// matching the tree walker's scoping).
+func (v *Env) Reset() { v.s = newScope() }
+
+// Bind sets a variable's value and summary provenance.
+func (v *Env) Bind(name string, seq Seq, sums []*storage.SummaryNode) {
+	v.s.vars[name] = seq
+	v.s.varSums[name] = sums
+}
+
+// EvalExpr evaluates an arbitrary expression under env — the VM's
+// fallback for shapes it does not compile (nested FLWORs, constructors,
+// aggregates), identical to the tree walker because it IS the tree
+// walker.
+func (e *Engine) EvalExpr(x xquery.Expr, env *Env) (Seq, error) {
+	return e.eval(x, env.s)
+}
+
+// EvalBoolExpr evaluates an expression to its effective boolean value.
+func (e *Engine) EvalBoolExpr(x xquery.Expr, env *Env) (bool, error) {
+	return e.evalBool(x, env.s)
+}
+
+// BindingSeq evaluates a FOR/LET source (evalBindingSeq), with optional
+// precomputed per-step summary targets for path sources.
+func (e *Engine) BindingSeq(x xquery.Expr, env *Env, pre [][]*storage.SummaryNode) (Seq, algebra.NodeSet, []*storage.SummaryNode, error) {
+	return e.bindingSeqPre(x, env.s, pre)
+}
+
+// PathNodes evaluates the structural part of a path (evalPathNodes)
+// with optional precomputed per-step targets. textTail reports a final
+// text() step; the returned nodes are then the text owners.
+func (e *Engine) PathNodes(p *xquery.PathExpr, env *Env, pre [][]*storage.SummaryNode) (algebra.NodeSet, []*storage.SummaryNode, bool, error) {
+	st, textTail, err := e.evalPathNodesPre(p, env.s, pre)
+	return st.nodes, st.sums, textTail, err
+}
+
+// EvalPathExpr evaluates a full path expression to a sequence
+// (evalPath), with optional precomputed per-step targets.
+func (e *Engine) EvalPathExpr(p *xquery.PathExpr, env *Env, pre [][]*storage.SummaryNode) (Seq, error) {
+	return e.evalPathPre(p, env.s, pre)
+}
+
+// StaticPath resolves a path's summary nodes without touching extents
+// (compile-time twin of the runtime step resolution; exact mirrors
+// pathState.exact).
+func (e *Engine) StaticPath(p *xquery.PathExpr, varSums map[string][]*storage.SummaryNode) ([]*storage.SummaryNode, bool) {
+	return e.staticPath(p, varSums)
+}
+
+// SummaryTargets resolves one step's summary targets from the given
+// origin summary nodes — the per-step unit StaticPath is built from.
+func (e *Engine) SummaryTargets(sums []*storage.SummaryNode, fromDocument bool, step xquery.Step) []*storage.SummaryNode {
+	return e.summaryTargets(sums, fromDocument, step)
+}
+
+// RelValueTarget resolves a context-relative predicate path to its
+// value containers (see relValueTarget).
+func (e *Engine) RelValueTarget(sums []*storage.SummaryNode, p *xquery.PathExpr) ([]*storage.Container, bool, bool) {
+	return e.relValueTarget(sums, p)
+}
+
+// MatchOwners runs the compressed-domain literal-predicate fast path
+// with runtime container resolution (the VM's dynamic case, when the
+// clause's summary nodes were not statically known).
+func (e *Engine) MatchOwners(sums []*storage.SummaryNode, rel *xquery.PathExpr, op, lit string) (algebra.NodeSet, bool, error) {
+	return e.matchOwners(sums, rel, op, lit, e.par)
+}
+
+// MatchOwnersConts runs the fast path over statically resolved
+// containers (the VM's compiled case).
+func (e *Engine) MatchOwnersConts(conts []*storage.Container, complete bool, op, lit string) (algebra.NodeSet, bool, error) {
+	return e.matchOwnersConts(conts, complete, op, lit, e.par)
+}
+
+// SemiJoinOwners restricts cur to the nodes having an owner in owners
+// within their subtree — the semijoin half of a pushdown.
+func (e *Engine) SemiJoinOwners(cur, owners algebra.NodeSet) algebra.NodeSet {
+	return algebra.SemiJoinAncestorPar(e.store, cur, owners, e.par)
+}
+
+// PushdownInfo is the exported view of a planned WHERE-conjunct
+// pushdown (see the pushdown type).
+type PushdownInfo struct {
+	Conj *xquery.Cmp
+	// literal comparison: $v/rel op literal
+	IsLit bool
+	Rel   *xquery.PathExpr
+	Op    string
+	Lit   string
+	// equality join: $v/relThis = $other/relOther
+	OtherVar string
+	RelThis  *xquery.PathExpr
+	RelOther *xquery.PathExpr
+}
+
+// FLWORPlanInfo is the exported view of planFLWOR's clause assignment.
+type FLWORPlanInfo struct {
+	Pushdowns map[int][]PushdownInfo // clause index -> pushdowns, in plan order
+	Residual  []xquery.Expr          // conjuncts evaluated per tuple
+}
+
+// PlanFLWOR exposes the FLWOR pushdown planner so the VM compiler
+// assigns WHERE conjuncts to clauses exactly as the tree walker does.
+func PlanFLWOR(x *xquery.FLWOR) FLWORPlanInfo {
+	plan := planFLWOR(x)
+	out := FLWORPlanInfo{Pushdowns: map[int][]PushdownInfo{}, Residual: plan.residual}
+	for ci, pds := range plan.pushdowns {
+		infos := make([]PushdownInfo, len(pds))
+		for i, pd := range pds {
+			infos[i] = PushdownInfo{
+				Conj: pd.conj, IsLit: pd.isLit, Rel: pd.rel, Op: pd.op, Lit: pd.lit,
+				OtherVar: pd.otherVar, RelThis: pd.relThis, RelOther: pd.relOther,
+			}
+		}
+		out.Pushdowns[ci] = infos
+	}
+	return out
+}
+
+// ApplyJoinPushdown restricts cur to the join partners of the other
+// variable's current binding (applyJoin), building or reusing the
+// engine's per-comparison join index.
+func (e *Engine) ApplyJoinPushdown(pd PushdownInfo, cur algebra.NodeSet, sums []*storage.SummaryNode, env *Env) (algebra.NodeSet, bool, error) {
+	return e.applyJoin(pushdown{
+		conj: pd.Conj, isLit: pd.IsLit, rel: pd.Rel, op: pd.Op, lit: pd.Lit,
+		otherVar: pd.OtherVar, relThis: pd.RelThis, relOther: pd.RelOther,
+	}, cur, sums, env.s)
+}
+
+// CheckCancel polls the engine's context (amortized); the VM calls it
+// once per binding iteration.
+func (e *Engine) CheckCancel() error { return e.checkCancel() }
+
+// ContextErr reports the armed context's error, nil when none is armed
+// (the up-front deadline check EvalStream performs).
+func (e *Engine) ContextErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// Context returns the armed context (nil when none).
+func (e *Engine) Context() context.Context { return e.ctx }
+
+// Hook returns the armed bind hook (nil when none); the VM fires it for
+// clause-0 FOR bindings and top-level path nodes, strictly before the
+// items derived from the binding are emitted — the WithBindHook
+// contract the shard workers' rank stamping relies on.
+func (e *Engine) Hook() func(storage.NodeID) { return e.bindHook }
+
+// NewPullResult wraps a pull function as this engine's streaming
+// Result — the adapter that lets the VM's run loop BE the cursor, with
+// no coroutine in between.
+func (e *Engine) NewPullResult(pull func() (Item, error, bool), stop func()) *Result {
+	return &Result{store: e.store, ctx: e.ctx, pull: pull, stop: stop}
+}

@@ -24,6 +24,7 @@ type PlanCache struct {
 	cap     int
 	entries map[planKey]*list.Element
 	lru     *list.List // front = most recent; values are *planEntry
+	bytes   int64      // sum of resident entry costs (CostBytes)
 
 	hits, misses, evictions int64
 }
@@ -31,8 +32,10 @@ type PlanCache struct {
 type planKey struct{ repo, topo, query string }
 
 type planEntry struct {
-	key  planKey
-	prep *xquec.Prepared
+	key    planKey
+	prep   *xquec.Prepared
+	cost   int64  // resident size charged against the cache (CostBytes)
+	engine string // evaluation engine label at insertion ("vm"/"tree")
 }
 
 // NewPlanCache returns a cache holding up to capacity plans (minimum 1).
@@ -59,23 +62,36 @@ func (c *PlanCache) Get(repo, topo, query string) *xquec.Prepared {
 }
 
 // Put inserts a plan, evicting the least recently used entry when the
-// cache is full.
-func (c *PlanCache) Put(repo, topo, query string, prep *xquec.Prepared) {
+// cache is full. Each entry is charged its Prepared.CostBytes — for
+// compiled plans that is the program's estimated resident size, so the
+// cache accounts for what it actually pins in memory, not just entry
+// count. Put returns the engine labels of any evicted entries (for
+// per-engine eviction metrics) and the cache's resident bytes after
+// the insertion.
+func (c *PlanCache) Put(repo, topo, query string, prep *xquec.Prepared) (evictedEngines []string, sizeBytes int64) {
 	k := planKey{repo, topo, query}
+	cost := int64(prep.CostBytes())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		c.lru.MoveToFront(el)
-		el.Value.(*planEntry).prep = prep
-		return
+		e := el.Value.(*planEntry)
+		c.bytes += cost - e.cost
+		e.prep, e.cost, e.engine = prep, cost, prep.EngineLabel()
+		return nil, c.bytes
 	}
-	c.entries[k] = c.lru.PushFront(&planEntry{key: k, prep: prep})
+	c.entries[k] = c.lru.PushFront(&planEntry{key: k, prep: prep, cost: cost, engine: prep.EngineLabel()})
+	c.bytes += cost
 	for c.lru.Len() > c.cap {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
-		delete(c.entries, tail.Value.(*planEntry).key)
+		e := tail.Value.(*planEntry)
+		delete(c.entries, e.key)
+		c.bytes -= e.cost
 		c.evictions++
+		evictedEngines = append(evictedEngines, e.engine)
 	}
+	return evictedEngines, c.bytes
 }
 
 // Invalidate drops every plan cached for repo (used when a repository
@@ -85,6 +101,7 @@ func (c *PlanCache) Invalidate(repo string) {
 	defer c.mu.Unlock()
 	for k, el := range c.entries {
 		if k.repo == repo {
+			c.bytes -= el.Value.(*planEntry).cost
 			c.lru.Remove(el)
 			delete(c.entries, k)
 		}
@@ -95,6 +112,7 @@ func (c *PlanCache) Invalidate(repo string) {
 type PlanCacheStats struct {
 	Capacity  int   `json:"capacity"`
 	Entries   int   `json:"entries"`
+	SizeBytes int64 `json:"size_bytes"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
@@ -105,7 +123,7 @@ func (c *PlanCache) Stats() PlanCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return PlanCacheStats{
-		Capacity: c.cap, Entries: c.lru.Len(),
+		Capacity: c.cap, Entries: c.lru.Len(), SizeBytes: c.bytes,
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 	}
 }

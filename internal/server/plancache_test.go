@@ -64,6 +64,34 @@ func TestPlanCacheInvalidate(t *testing.T) {
 	}
 }
 
+// TestPlanCacheByteAccounting: every resident entry is charged its
+// CostBytes, and eviction/invalidation/replacement release the charge.
+func TestPlanCacheByteAccounting(t *testing.T) {
+	c := NewPlanCache(2)
+	p1 := testPrepared(t, `count(/doc/a)`)
+	p2 := testPrepared(t, `count(/doc)`)
+	p3 := testPrepared(t, `/doc/a/text()`)
+	if _, bytes := c.Put("r", "t", "q1", p1); bytes != int64(p1.CostBytes()) {
+		t.Fatalf("bytes after first Put = %d, want %d", bytes, p1.CostBytes())
+	}
+	c.Put("r", "t", "q2", p2)
+	evicted, bytes := c.Put("r", "t", "q3", p3) // evicts q1 (LRU)
+	if len(evicted) != 1 || evicted[0] != p1.EngineLabel() {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if want := int64(p2.CostBytes() + p3.CostBytes()); bytes != want {
+		t.Fatalf("bytes after eviction = %d, want %d", bytes, want)
+	}
+	// Replacing an entry swaps its charge rather than double-counting.
+	if _, bytes := c.Put("r", "t", "q3", p1); bytes != int64(p2.CostBytes()+p1.CostBytes()) {
+		t.Fatalf("bytes after replace = %d", bytes)
+	}
+	c.Invalidate("r")
+	if st := c.Stats(); st.SizeBytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats after invalidate = %+v", st)
+	}
+}
+
 func TestPlanCacheExecutableEntries(t *testing.T) {
 	c := NewPlanCache(4)
 	p := testPrepared(t, `count(/doc/a)`)

@@ -259,6 +259,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if r.URL.Query().Get("explain") == "1" {
+		s.handleExplain(w, req)
+		return
+	}
 	timeout := s.timeoutFor(req)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -291,6 +295,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ExplainResponse is the /query?explain=1 response body: the access
+// plan from the tree explainer plus, when the query compiles, the
+// stack-VM program disassembly the server would actually execute.
+type ExplainResponse struct {
+	Repo   string `json:"repo"`
+	Query  string `json:"query"`
+	Engine string `json:"engine"`
+	Plan   string `json:"plan"`
+	// Program is the compiled bytecode disassembly; empty when the
+	// query falls back to the tree walker.
+	Program string `json:"program,omitempty"`
+}
+
+// handleExplain answers POST /query?explain=1: it plans the query but
+// never evaluates it, so it bypasses admission control and deadlines.
+func (s *Server) handleExplain(w http.ResponseWriter, req QueryRequest) {
+	db, _, err := s.pool.Get(req.Repo)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("unknown repository %q", req.Repo)})
+			return
+		}
+		writeJSON(w, statusFor(err), errorResponse{err.Error()})
+		return
+	}
+	plan, err := db.Explain(req.Query)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{err.Error()})
+		return
+	}
+	program, err := db.ExplainProgram(req.Query)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{err.Error()})
+		return
+	}
+	engine := xquec.EvalEngine()
+	if program == "" {
+		engine = "tree"
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Repo: req.Repo, Query: req.Query, Engine: engine, Plan: plan, Program: program,
+	})
+}
+
 // resolve turns a request into a running result cursor via the
 // repository pool and plan cache. The returned status is used only when
 // err is non-nil and not a cancellation.
@@ -316,13 +364,22 @@ func (s *Server) resolve(ctx context.Context, req QueryRequest) (res *xquec.Resu
 	planCached = prep != nil
 	if planCached {
 		s.metrics.PlanHits.Add(1)
+		s.metrics.AddPlanHit(prep.EngineLabel())
 	} else {
 		s.metrics.PlanMisses.Add(1)
 		prep, err = db.Prepare(req.Query)
 		if err != nil {
 			return nil, planCached, repoCached, statusFor(err), err
 		}
-		s.plans.Put(req.Repo, topo, req.Query, prep)
+		s.metrics.AddPlanMiss(prep.EngineLabel())
+		if n := prep.ProgramLen(); n > 0 {
+			s.metrics.ObserveProgramLen(n)
+		}
+		evicted, bytes := s.plans.Put(req.Repo, topo, req.Query, prep)
+		for _, engine := range evicted {
+			s.metrics.AddPlanEviction(engine)
+		}
+		s.metrics.PlanCacheBytes.Store(bytes)
 	}
 
 	res, err = prep.RunWith(ctx, s.queryOptions(req))

@@ -7,6 +7,7 @@ import (
 
 	"xquec/internal/engine"
 	"xquec/internal/storage"
+	"xquec/internal/vm"
 	"xquec/internal/xquery"
 )
 
@@ -76,25 +77,44 @@ type inprocWorker struct {
 	shard int
 
 	mu    sync.Mutex
-	plans map[string]xquery.Expr
+	plans map[string]*workerPlan
+}
+
+// workerPlan is one cached shard plan: the parsed form plus the
+// program compiled once against this worker's shard store and reused
+// across requests (the coordinator fans the same query out repeatedly
+// under hedging and repeated client calls).
+type workerPlan struct {
+	expr xquery.Expr
+	prog *vm.Program // nil: compile declined, evaluate on the tree walker
 }
 
 func (w *inprocWorker) Shard() int { return w.shard }
 
 func (w *inprocWorker) Query(ctx context.Context, req Request) (Stream, error) {
-	expr := req.expr
-	if expr == nil {
-		var err error
-		if expr, err = w.plan(req.Query); err != nil {
-			return nil, err
-		}
+	pl, err := w.plan(req.Query, req.expr)
+	if err != nil {
+		return nil, err
 	}
 	st := &inprocStream{w: w}
+	hook := func(id storage.NodeID) { st.origin = id }
+	if vm.Enabled() && pl.prog != nil {
+		res, err := pl.prog.Run(vm.RunOptions{
+			Ctx:         ctx,
+			Parallelism: req.Parallelism,
+			BindHook:    hook,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.res = res
+		return st, nil
+	}
 	eng := engine.New(w.set.Stores[w.shard]).
 		WithContext(ctx).
 		WithParallelism(req.Parallelism).
-		WithBindHook(func(id storage.NodeID) { st.origin = id })
-	res, err := eng.EvalStream(expr)
+		WithBindHook(hook)
+	res, err := eng.EvalStream(pl.expr)
 	if err != nil {
 		return nil, err
 	}
@@ -102,23 +122,33 @@ func (w *inprocWorker) Query(ctx context.Context, req Request) (Stream, error) {
 	return st, nil
 }
 
-// plan caches parsed queries per worker (the in-process stand-in for a
-// remote worker's plan cache).
-func (w *inprocWorker) plan(query string) (xquery.Expr, error) {
+// plan caches parsed+compiled queries per worker (the in-process
+// stand-in for a remote worker's plan cache). parsed, when non-nil, is
+// the coordinator's AST and skips the re-parse; the program is still
+// compiled per shard, since its operands resolve against this shard's
+// summary and containers.
+func (w *inprocWorker) plan(query string, parsed xquery.Expr) (*workerPlan, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if expr, ok := w.plans[query]; ok {
-		return expr, nil
+	if pl, ok := w.plans[query]; ok {
+		return pl, nil
 	}
-	expr, err := xquery.Parse(query)
-	if err != nil {
-		return nil, err
+	expr := parsed
+	if expr == nil {
+		var err error
+		if expr, err = xquery.Parse(query); err != nil {
+			return nil, err
+		}
+	}
+	pl := &workerPlan{expr: expr}
+	if prog, err := vm.Compile(expr, w.set.Stores[w.shard], query); err == nil {
+		pl.prog = prog
 	}
 	if w.plans == nil {
-		w.plans = map[string]xquery.Expr{}
+		w.plans = map[string]*workerPlan{}
 	}
-	w.plans[query] = expr
-	return expr, nil
+	w.plans[query] = pl
+	return pl, nil
 }
 
 // inprocStream adapts an engine result to the Stream interface,

@@ -1,0 +1,63 @@
+package vm
+
+import (
+	"testing"
+
+	"xquec/internal/engine"
+	"xquec/internal/xquery"
+)
+
+// FuzzCompile feeds arbitrary query text through the full
+// parse→compile→run pipeline and cross-checks the compiled program
+// against the tree-walking oracle: any input that parses must either
+// compile and produce byte-identical output (and identical errors), or
+// be declined by the compiler — never compile into a program that
+// disagrees. The seed corpus is the unit battery, so `go test` alone
+// replays every compiled construct through the differential check.
+func FuzzCompile(f *testing.F) {
+	for _, q := range queryBattery() {
+		f.Add(q.Text)
+	}
+	f.Add(`FOR $x IN /site/a LET $y := $x/b WHERE $y > 1 + 2 RETURN <r>{$y}</r>`)
+	f.Add(`(1 + 2 * 3, "lit", /site/people)`)
+	f.Add(`FOR $x IN /a FOR $y IN /b WHERE $x/@id = $y/@ref RETURN $x`)
+	s := store(f)
+	f.Fuzz(func(t *testing.T, query string) {
+		if len(query) > 1024 {
+			return // keep eval cost bounded; long inputs add no coverage
+		}
+		expr, err := xquery.Parse(query)
+		if err != nil {
+			return
+		}
+		prog, err := Compile(expr, s, query)
+		if err != nil {
+			return // declining is a legal fallback, miscompiling is not
+		}
+		vOut, vErr := func() (string, error) {
+			res, err := prog.Run(RunOptions{})
+			if err != nil {
+				return "", err
+			}
+			defer res.Close()
+			return drain(s, res.Next)
+		}()
+		tOut, tErr := func() (string, error) {
+			res, err := engine.New(s).EvalStream(expr)
+			if err != nil {
+				return "", err
+			}
+			defer res.Close()
+			return drain(s, res.Next)
+		}()
+		if (vErr == nil) != (tErr == nil) {
+			t.Fatalf("%q: vm err=%v, tree err=%v", query, vErr, tErr)
+		}
+		if vErr != nil && vErr.Error() != tErr.Error() {
+			t.Fatalf("%q: vm err %q, tree err %q", query, vErr, tErr)
+		}
+		if vOut != tOut {
+			t.Fatalf("%q: output mismatch\n--- vm ---\n%s\n--- tree ---\n%s", query, vOut, tOut)
+		}
+	})
+}

@@ -35,12 +35,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"xquec/internal/costmodel"
 	"xquec/internal/engine"
 	"xquec/internal/shard"
 	"xquec/internal/storage"
+	"xquec/internal/vm"
 	"xquec/internal/workload"
 	"xquec/internal/xquery"
 )
@@ -344,24 +346,40 @@ type QueryOptions struct {
 	ShardFanout int
 }
 
+// EvalEngine reports which evaluator queries run on: "vm" (the
+// default — plans compile to bytecode, see internal/vm) or "tree" (the
+// tree-walking oracle, selected with XQUEC_EVAL=tree). The setting is
+// read per evaluation, so tests can switch engines between calls.
+func EvalEngine() string {
+	if vm.Enabled() {
+		return "vm"
+	}
+	return "tree"
+}
+
 // run is the single evaluation entry point behind Query, QueryContext,
 // QueryWith, Prepared.Run, Prepared.RunContext and Prepared.RunWith:
-// arm a fresh engine with ctx and the worker budget, build the
-// streaming cursor, and prime its first item so errors that occur
-// before any output — an expired deadline, an unbound variable, a
-// failing aggregate — surface here rather than on the first Next.
-// Each call gets its own engine, so evaluation state is never shared.
+// pick the evaluator, build the streaming cursor, and prime its first
+// item so errors that occur before any output — an expired deadline,
+// an unbound variable, a failing aggregate — surface here rather than
+// on the first Next. Each call gets its own evaluation state.
+//
+// By default the compiled program's VM loop feeds the cursor directly;
+// XQUEC_EVAL=tree (or a query shape the compiler refused) falls back
+// to a fresh tree-walking engine over the same store.
 //
 // On a sharded database the scatter analyzer decides the path: provably
-// decomposable queries fan out across the shards and merge in global
-// document order; the rest run on the fused single-store view. Both
-// paths return byte-identical results to a single-repository database
-// over the same corpus.
-func (db *Database) run(ctx context.Context, q string, expr xquery.Expr, opts QueryOptions) (*Results, error) {
+// decomposable queries fan out across the shards (each worker runs its
+// own per-shard compiled program) and merge in global document order;
+// the rest run on the fused single-store view. Both paths return
+// byte-identical results to a single-repository database over the same
+// corpus.
+func (p *Prepared) run(ctx context.Context, opts QueryOptions) (*Results, error) {
+	db := p.db
 	st := db.store
 	if db.set != nil {
-		if dec := shard.Analyze(expr, db.set); dec.Scatter {
-			cur, err := db.coord.ScatterExpr(ctx, q, expr, shard.Options{
+		if dec := shard.Analyze(p.expr, db.set); dec.Scatter {
+			cur, err := db.coord.ScatterExpr(ctx, p.text, p.expr, shard.Options{
 				Partial:     opts.PartialResults,
 				HedgeAfter:  opts.HedgeAfter,
 				Fanout:      opts.ShardFanout,
@@ -382,7 +400,19 @@ func (db *Database) run(ctx context.Context, q string, expr xquery.Expr, opts Qu
 			return nil, err
 		}
 	}
-	res, err := engine.New(st).WithContext(ctx).WithParallelism(opts.Parallelism).EvalStream(expr)
+	if vm.Enabled() {
+		if prog := p.program(st); prog != nil {
+			res, err := prog.Run(vm.RunOptions{Ctx: ctx, Parallelism: opts.Parallelism})
+			if err != nil {
+				return nil, tagErr(ErrEval, err)
+			}
+			if err := res.Prime(); err != nil {
+				return nil, tagErr(ErrEval, err)
+			}
+			return &Results{res: res}, nil
+		}
+	}
+	res, err := engine.New(st).WithContext(ctx).WithParallelism(opts.Parallelism).EvalStream(p.expr)
 	if err != nil {
 		return nil, tagErr(ErrEval, err)
 	}
@@ -412,50 +442,129 @@ func (db *Database) QueryContext(ctx context.Context, q string) (*Results, error
 // budget). Queries at different Parallelism settings return identical
 // results.
 func (db *Database) QueryWith(ctx context.Context, q string, opts QueryOptions) (*Results, error) {
-	expr, err := xquery.Parse(q)
+	prep, err := db.Prepare(q)
 	if err != nil {
-		return nil, tagErr(ErrParse, err)
+		return nil, err
 	}
-	return db.run(ctx, q, expr, opts)
+	return prep.run(ctx, opts)
 }
 
-// Prepare parses a query once for repeated execution, skipping the
-// parser on every subsequent run — the unit a serving plan cache
-// stores. The prepared query is bound to this Database and is safe for
-// concurrent Run calls: the parsed form is never mutated and every
-// execution gets a fresh engine.
+// Prepare parses — and, on the VM engine, compiles — a query once for
+// repeated execution, skipping the parser and compiler on every
+// subsequent run: the unit a serving plan cache stores. Compilation is
+// eager here so the cache can account the compiled program's bytes at
+// admission time. The prepared query is bound to this Database and is
+// safe for concurrent Run calls: the parsed form and the compiled
+// program are never mutated and every execution gets fresh run state.
 func (db *Database) Prepare(q string) (*Prepared, error) {
 	expr, err := xquery.Parse(q)
 	if err != nil {
 		return nil, tagErr(ErrParse, err)
 	}
-	return &Prepared{db: db, expr: expr, text: q}, nil
+	p := &Prepared{db: db, expr: expr, text: q}
+	if vm.Enabled() {
+		// Sharded databases compile against shard 0: the shards share
+		// one summary shape, so its program is every worker's program
+		// for size/len reporting (workers compile their own copy).
+		p.program(p.planStore())
+	}
+	return p, nil
 }
 
-// Prepared is a parsed query bound to a Database.
+// Prepared is a parsed query bound to a Database, plus its lazily
+// compiled per-store bytecode programs.
 type Prepared struct {
 	db   *Database
 	expr xquery.Expr
 	text string
+
+	mu    sync.Mutex
+	progs map[*storage.Store]*vm.Program // nil entry: compile declined, use tree
+}
+
+// planStore is the store whose compiled program represents this query
+// for reporting (the store itself; shard 0 when sharded).
+func (p *Prepared) planStore() *storage.Store {
+	if p.db.set != nil {
+		return p.db.set.Stores[0]
+	}
+	return p.db.store
+}
+
+// program returns the compiled program for st, compiling on first use.
+// A failed compilation is cached as nil, pinning the query to the
+// tree-walking fallback.
+func (p *Prepared) program(st *storage.Store) *vm.Program {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prog, ok := p.progs[st]; ok {
+		return prog
+	}
+	prog, err := vm.Compile(p.expr, st, p.text)
+	if err != nil {
+		prog = nil
+	}
+	if p.progs == nil {
+		p.progs = map[*storage.Store]*vm.Program{}
+	}
+	p.progs[st] = prog
+	return prog
 }
 
 // Text returns the original query text.
 func (p *Prepared) Text() string { return p.text }
 
+// EngineLabel reports how run will evaluate this statement: "vm" when
+// a compiled program exists and the VM is enabled, else "tree".
+func (p *Prepared) EngineLabel() string {
+	if vm.Enabled() && p.program(p.planStore()) != nil {
+		return "vm"
+	}
+	return "tree"
+}
+
+// ProgramLen returns the compiled program's instruction count (0 when
+// the query runs on the tree walker).
+func (p *Prepared) ProgramLen() int {
+	if prog := p.program(p.planStore()); prog != nil {
+		return prog.Len()
+	}
+	return 0
+}
+
+// CostBytes estimates the prepared statement's resident size for
+// byte-based plan-cache accounting: the compiled program's bytes, or a
+// query-text-proportional floor for tree-only statements.
+func (p *Prepared) CostBytes() int {
+	if prog := p.program(p.planStore()); prog != nil {
+		return prog.SizeBytes()
+	}
+	return 256 + 2*len(p.text)
+}
+
+// Disassemble returns the compiled program's instruction listing
+// (empty when the query runs on the tree walker).
+func (p *Prepared) Disassemble() string {
+	if prog := p.program(p.planStore()); prog != nil {
+		return prog.Disassemble()
+	}
+	return ""
+}
+
 // Run evaluates the prepared query.
 func (p *Prepared) Run() (*Results, error) {
-	return p.db.run(context.Background(), p.text, p.expr, QueryOptions{})
+	return p.run(context.Background(), QueryOptions{})
 }
 
 // RunContext evaluates the prepared query under ctx (see QueryContext).
 func (p *Prepared) RunContext(ctx context.Context) (*Results, error) {
-	return p.db.run(ctx, p.text, p.expr, QueryOptions{})
+	return p.run(ctx, QueryOptions{})
 }
 
 // RunWith evaluates the prepared query under ctx with per-call options
 // (see QueryWith).
 func (p *Prepared) RunWith(ctx context.Context, opts QueryOptions) (*Results, error) {
-	return p.db.run(ctx, p.text, p.expr, opts)
+	return p.run(ctx, opts)
 }
 
 // Explain renders the evaluation strategy for a query without running
@@ -483,6 +592,28 @@ func (db *Database) Explain(q string) (string, error) {
 		return "", err
 	}
 	return head + plan, nil
+}
+
+// ExplainProgram returns the compiled bytecode program's disassembly
+// for a query — opcodes, operands, and the containers and summary
+// paths resolved at compile time — the companion to Explain's
+// tree-level plan. On a sharded database the program shown is shard
+// 0's (shard repositories share one summary shape). An empty string
+// means the query runs on the tree walker.
+func (db *Database) ExplainProgram(q string) (string, error) {
+	expr, err := xquery.Parse(q)
+	if err != nil {
+		return "", tagErr(ErrParse, err)
+	}
+	st := db.store
+	if db.set != nil {
+		st = db.set.Stores[0]
+	}
+	prog, err := vm.Compile(expr, st, q)
+	if err != nil {
+		return "", nil
+	}
+	return prog.Disassemble(), nil
 }
 
 // MustQuery is Query for examples and tests; it panics on error.
