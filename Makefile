@@ -3,12 +3,22 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-serve bench bench-query bench-par bench-shard bench-codec bench-vm bench-paper fuzz-smoke
+.PHONY: check build test race vet apicheck bench-serve bench bench-query bench-par bench-shard bench-codec bench-vm bench-append bench-paper fuzz-smoke
 
-check: vet build race bench ## tier-1: vet + build + race-clean tests + bench smoke
+check: vet apicheck build race bench ## tier-1: vet + deprecated-API gate + build + race-clean tests + bench smoke
 
 vet:
 	$(GO) vet ./...
+
+# Deprecated-API gate: commands, examples and internal packages must use
+# the consolidated entry points (Compress with Options.Shards, Execute)
+# instead of the deprecated wrappers the root package keeps for
+# compatibility. Root-package tests exercising the wrappers are exempt.
+apicheck:
+	@bad=$$(grep -rn --include='*.go' --exclude='*_test.go' -E '(CompressSharded|\.QueryWith|\.QueryContext|\.RunWith|\.RunContext)\(' cmd examples internal || true); \
+	if [ -n "$$bad" ]; then \
+		echo "deprecated xquec API usage (use Compress/Execute):"; echo "$$bad"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -26,7 +36,7 @@ bench-serve:
 # Ingestion + decode + serving benchmarks with allocation counts; each
 # run appends one JSON record to BENCH_ingest.json for cross-commit
 # comparison.
-bench: bench-query bench-par bench-shard bench-codec bench-vm
+bench: bench-query bench-par bench-shard bench-codec bench-vm bench-append
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
 	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
@@ -67,6 +77,15 @@ bench-codec:
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkCodec(Encode|Decode)' -benchmem . \
 	| /tmp/benchjson -o BENCH_codec.json -label codec-kernels
+
+# Mutable-repository benchmarks: appending one document vs re-ingesting
+# the whole concatenated corpus, and query latency over the same corpus
+# held as 1/2/4 segments (scattered merge and fused fallback). Appends
+# to BENCH_append.json.
+bench-append:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkAppend(Ingest|Query)' -benchmem . \
+	| /tmp/benchjson -o BENCH_append.json -label append-segments
 
 # Compiled-plan engine benchmarks: the same streaming/predicate
 # workloads on the stack VM vs the tree-walking oracle (per-item

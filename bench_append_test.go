@@ -1,0 +1,159 @@
+package xquec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xquec/internal/datagen"
+	"xquec/internal/experiments"
+	"xquec/internal/segment"
+)
+
+// appendBenchDocs lazily generates the shared append-benchmark corpus:
+// four same-root XMark documents (distinct seeds) whose concatenation
+// is the logical corpus, held as 1, 2 and 4 segments — identical
+// content at every segment count, so the query rows compare layouts,
+// not data.
+var appendBenchDocs = struct {
+	once sync.Once
+	docs [][]byte
+	dbs  map[int]*Database // keyed by segment count
+	err  error
+}{}
+
+func appendBenchSetup(b *testing.B) {
+	b.Helper()
+	appendBenchDocs.once.Do(func() {
+		docs := make([][]byte, 4)
+		for i := range docs {
+			docs[i] = datagen.XMark(datagen.XMarkConfig{Scale: benchScale, Seed: experiments.Seed + int64(i)})
+		}
+		appendBenchDocs.docs = docs
+		appendBenchDocs.dbs = map[int]*Database{}
+		// dbs[n] holds the full 4-document corpus as n equal segments.
+		for _, n := range []int{1, 2, 4} {
+			per := len(docs) / n
+			parts := make([][]byte, n)
+			for i := range parts {
+				part, err := segment.Concat(docs[i*per : (i+1)*per]...)
+				if err != nil {
+					appendBenchDocs.err = err
+					return
+				}
+				parts[i] = part
+			}
+			db, err := Compress(parts[0], Options{})
+			if err != nil {
+				appendBenchDocs.err = err
+				return
+			}
+			if n > 1 {
+				w, err := NewWriter(db, Options{})
+				if err != nil {
+					appendBenchDocs.err = err
+					return
+				}
+				for _, part := range parts[1:] {
+					if err := w.Append(part); err != nil {
+						appendBenchDocs.err = err
+						return
+					}
+				}
+				if db, err = w.Commit(); err != nil {
+					appendBenchDocs.err = err
+					return
+				}
+			}
+			appendBenchDocs.dbs[n] = db
+		}
+	})
+	if appendBenchDocs.err != nil {
+		b.Fatal(appendBenchDocs.err)
+	}
+}
+
+// BenchmarkAppendIngest compares growing a repository by one document
+// via the Writer append path (one new segment, dictionary pre-seeded,
+// base untouched) against the re-ingest baseline (recompressing the
+// whole concatenated corpus) — the cost asymmetry that motivates the
+// segment model.
+func BenchmarkAppendIngest(b *testing.B) {
+	appendBenchSetup(b)
+	base := appendBenchDocs.dbs[1]
+	docs := appendBenchDocs.docs
+
+	b.Run("append", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := NewWriter(base, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Append(docs[1]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := w.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reingest", func(b *testing.B) {
+		corpus, err := segment.Concat(docs[0], docs[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Compress(corpus, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAppendQuery measures query latency over the same logical
+// corpus held as 1, 2 and 4 segments: the scattered row exercises
+// per-segment evaluation + the ordered merge, the fallback row the
+// lazily fused whole-corpus store (fused untimed in warm-up). Results
+// are byte-identical at every segment count; the delta is the price of
+// appendability on the read path.
+func BenchmarkAppendQuery(b *testing.B) {
+	appendBenchSetup(b)
+	for _, bench := range []struct{ name, q string }{
+		{"scatter", `FOR $p IN document("auction.xml")/site/people/person RETURN $p/name/text()`},
+		{"fallback", `count(/site//item)`},
+	} {
+		for _, segs := range []int{1, 2, 4} {
+			db := appendBenchDocs.dbs[segs]
+			b.Run(fmt.Sprintf("%s/segments=%d", bench.name, segs), func(b *testing.B) {
+				// Warm up untimed: the fallback path fuses the corpus lazily
+				// (sync.Once) on its first query.
+				if res, err := db.Execute(context.Background(), bench.q, QueryOptions{}); err == nil {
+					res.Len()
+					res.Close()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := db.Execute(context.Background(), bench.q, QueryOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for {
+						_, ok, err := res.Next()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !ok {
+							break
+						}
+					}
+					res.Close()
+				}
+			})
+		}
+	}
+}

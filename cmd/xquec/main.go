@@ -4,10 +4,16 @@
 // Usage:
 //
 //	xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] doc.xml
+//	xquec append   [-compact] [-p workers] repo.xqc|set.xqcg doc.xml...
 //	xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max]
 //	               [-p workers] [-cpuprofile out.pprof] [-explain] repo.xqc
 //	xquec stats    repo.xqc
 //	xquec decompress repo.xqc        # reconstruct the XML
+//
+// append ingests each document as a new append segment of the
+// repository's segment set, persisting a .xqcg manifest next to the
+// repository; -compact folds the set back into a single freshly
+// partitioned segment afterwards.
 //
 // Query results stream to stdout as they are produced: the first item
 // prints before the full evaluation finishes, and -n stops both the
@@ -61,6 +67,8 @@ func main() {
 	switch os.Args[1] {
 	case "compress":
 		err = cmdCompress(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
 	case "stats":
@@ -82,10 +90,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   xquec compress [-o out.xqc] [-alg alm|huffman|hutucker|blob] [-p workers] [-shards n] [-v] doc.xml
-  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] [-p workers] [-cpuprofile file] [-explain] repo.xqc|set.xqcs
-  xquec stats    repo.xqc|set.xqcs
-  xquec explain  -q query repo.xqc|set.xqcs
-  xquec decompress repo.xqc|set.xqcs`)
+  xquec append   [-compact] [-p workers] repo.xqc|set.xqcg doc.xml...
+  xquec query    [-q query | -f query.xq] [-timeout 30s] [-n max] [-p workers] [-cpuprofile file] [-explain] repo.xqc|set.xqcs|set.xqcg
+  xquec stats    repo.xqc|set.xqcs|set.xqcg
+  xquec explain  -q query repo.xqc|set.xqcs|set.xqcg
+  xquec decompress repo.xqc|set.xqcs|set.xqcg`)
 	os.Exit(2)
 }
 
@@ -94,7 +103,7 @@ func cmdCompress(args []string) error {
 	out := fs.String("o", "", "output repository file (default: input + .xqc, or + .xqcs with -shards)")
 	alg := fs.String("alg", "", "default string algorithm (alm, huffman, hutucker, blob)")
 	par := fs.Int("p", 0, "compressor worker count (0 = GOMAXPROCS, 1 = serial; output is identical)")
-	shards := fs.Int("shards", 0, "split into this many shard repositories with a shared dictionary (0 = single repository)")
+	shards := fs.Int("shards", 0, "split into this many shard repositories with a shared dictionary (<2 = single repository)")
 	verbose := fs.Bool("v", false, "print per-phase build timings")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,22 +116,17 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := xquec.Options{Parallelism: *par}
+	opts := xquec.Options{Parallelism: *par, Shards: *shards}
 	if *alg != "" {
 		opts.Plan = &xquec.CompressionPlan{DefaultAlgorithm: *alg}
 	}
-	var db *xquec.Database
-	if *shards > 0 {
-		db, err = xquec.CompressSharded(doc, *shards, opts)
-	} else {
-		db, err = xquec.Compress(doc, opts)
-	}
+	db, err := xquec.Compress(doc, opts)
 	if err != nil {
 		return err
 	}
 	dst := *out
 	if dst == "" {
-		if *shards > 0 {
+		if *shards >= 2 {
 			dst = in + ".xqcs"
 		} else {
 			dst = in + ".xqc"
@@ -138,6 +142,56 @@ func cmdCompress(args []string) error {
 		fmt.Printf("build: workers=%d parse=%v classify=%v train=%v encode=%v index=%v total=%v\n",
 			b.Parallelism, b.Parse, b.Classify, b.Train, b.Encode, b.Index, b.Total())
 	}
+	return nil
+}
+
+// cmdAppend grows a repository in place: each document becomes a new
+// append segment sharing the repository's name dictionary, and the set
+// is persisted as a .xqcg manifest next to the repository (queries then
+// address the manifest — or the bare name via xquecd, which prefers
+// it). -compact folds the grown set back into a single segment with the
+// cost-model partitioner re-run over the whole corpus.
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	compact := fs.Bool("compact", false, "compact to a single freshly partitioned segment after appending")
+	par := fs.Int("p", 0, "compressor worker count (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("append needs a repository and at least one document (with -compact, a repository alone recompacts)")
+	}
+	if fs.NArg() < 2 && !*compact {
+		return fmt.Errorf("append needs at least one document to append (or -compact)")
+	}
+	repo := fs.Arg(0)
+	db, err := xquec.Open(repo)
+	if err != nil {
+		return err
+	}
+	w, err := xquec.NewWriter(db, xquec.Options{Parallelism: *par})
+	if err != nil {
+		return err
+	}
+	w.BindFile(strings.TrimSuffix(repo, ".xqc"))
+	for _, in := range fs.Args()[1:] {
+		doc, err := os.ReadFile(in)
+		if err != nil {
+			return err
+		}
+		if err := w.Append(doc); err != nil {
+			return fmt.Errorf("%s: %w", in, err)
+		}
+	}
+	if db, err = w.Commit(); err != nil {
+		return err
+	}
+	if *compact {
+		if db, err = w.Compact(context.Background()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d segments\n%s\n", repo, db.Segments(), db.Stats())
 	return nil
 }
 
@@ -190,7 +244,7 @@ func cmdQuery(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	res, err := db.QueryWith(ctx, *q, xquec.QueryOptions{Parallelism: *par})
+	res, err := db.Execute(ctx, *q, xquec.QueryOptions{Parallelism: *par})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("query exceeded %v: %w", *timeout, err)
@@ -284,15 +338,22 @@ func cmdStats(args []string) error {
 	if db.Sharded() {
 		fmt.Printf("shards: %d\n", db.Shards())
 	}
+	if db.Segmented() {
+		fmt.Printf("segments: %d\n", db.Segments())
+	}
 	fmt.Println("containers:")
 	for _, c := range db.Containers() {
-		if db.Sharded() {
+		switch {
+		case db.Sharded():
 			fmt.Printf("  [%03d] %-54s %-8s %-9s recs=%-7d %dB\n",
 				c.Shard, c.Path, c.Kind, c.Algorithm, c.Records, c.Bytes)
-			continue
+		case db.Segmented():
+			fmt.Printf("  [%03d] %-54s %-8s %-9s recs=%-7d %dB\n",
+				c.Segment, c.Path, c.Kind, c.Algorithm, c.Records, c.Bytes)
+		default:
+			fmt.Printf("  %-60s %-8s %-9s recs=%-7d %dB\n",
+				c.Path, c.Kind, c.Algorithm, c.Records, c.Bytes)
 		}
-		fmt.Printf("  %-60s %-8s %-9s recs=%-7d %dB\n",
-			c.Path, c.Kind, c.Algorithm, c.Records, c.Bytes)
 	}
 	return nil
 }

@@ -8,19 +8,28 @@
 //	xquecd -repos ./repos [-addr :8090] [-pool 8] [-plans 256]
 //	       [-timeout 30s] [-max-concurrent 16] [-flush-items 32]
 //	       [-query-parallelism 1] [-partial-results] [-hedge 50ms]
-//	       [-shard-fanout 0] [-pprof localhost:6060]
+//	       [-shard-fanout 0] [-compact-after 0] [-max-append-bytes 64MiB]
+//	       [-pprof localhost:6060]
 //
-// The repository directory may hold single repositories (name.xqc) and
-// shard-set manifests (name.xqcs, from `xquec compress -shards N`);
-// both are addressed by bare name. Scattered queries over shard sets
-// honor -partial-results, -hedge and -shard-fanout, and export
-// xquecd_shard_* metrics.
+// The repository directory may hold single repositories (name.xqc),
+// shard-set manifests (name.xqcs, from `xquec compress -shards N`) and
+// segment-set manifests (name.xqcg, from appends); all are addressed by
+// bare name, with the segment manifest taking precedence. Scattered
+// queries over shard sets honor -partial-results, -hedge and
+// -shard-fanout, and export xquecd_shard_* metrics.
+//
+// POST /append grows a repository without rebuilding it: the document
+// becomes a new append segment, the set is persisted and atomically
+// swapped into the pool (in-flight queries keep their snapshot), and
+// once the segment count reaches -compact-after a background compaction
+// folds the set back into one freshly partitioned segment.
 //
 // API:
 //
 //	POST /query         {"repo":"auction","query":"count(/site//item)","timeout_ms":500}
 //	POST /query/stream  same body; chunked newline-separated items,
 //	                    flushed every -flush-items items
+//	POST /append        {"repo":"auction","doc":"<site>...</site>","compact":false}
 //	GET  /repos         available and resident repositories
 //	GET  /stats         JSON counters, pool and plan-cache statistics
 //	GET  /healthz       liveness probe
@@ -55,6 +64,9 @@ func main() {
 	partial := flag.Bool("partial-results", false, "serve partial results when a shard fails on sharded repositories (requests may override with \"partial_results\")")
 	hedge := flag.Duration("hedge", 0, "re-dispatch a silent shard stream after this long on scattered queries (0 = off; requests may override with \"hedge_ms\")")
 	shardFanout := flag.Int("shard-fanout", 0, "max shards evaluating concurrently per scattered query (0 = all)")
+	compactAfter := flag.Int("compact-after", 0, "background-compact a repository once an append leaves it with this many segments (0 = only on request)")
+	maxAppend := flag.Int64("max-append-bytes", 0, "max /append request body size in bytes (0 = 64 MiB)")
+	appendPar := flag.Int("append-parallelism", 0, "ingestion worker budget for appends and compactions (0 = GOMAXPROCS)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off")
 	flag.Parse()
 
@@ -64,16 +76,19 @@ func main() {
 		os.Exit(2)
 	}
 	srv, err := server.New(server.Config{
-		RepoDir:          *repos,
-		PoolSize:         *pool,
-		PlanCacheSize:    *plans,
-		MaxConcurrent:    *maxConc,
-		QueryTimeout:     *timeout,
-		FlushEvery:       *flushItems,
-		QueryParallelism: *queryPar,
-		PartialResults:   *partial,
-		HedgeAfter:       *hedge,
-		ShardFanout:      *shardFanout,
+		RepoDir:           *repos,
+		PoolSize:          *pool,
+		PlanCacheSize:     *plans,
+		MaxConcurrent:     *maxConc,
+		QueryTimeout:      *timeout,
+		FlushEvery:        *flushItems,
+		QueryParallelism:  *queryPar,
+		PartialResults:    *partial,
+		HedgeAfter:        *hedge,
+		ShardFanout:       *shardFanout,
+		CompactAfter:      *compactAfter,
+		MaxAppendBytes:    *maxAppend,
+		AppendParallelism: *appendPar,
 	})
 	if err != nil {
 		log.Fatalf("xquecd: %v", err)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +37,7 @@ func main() {
 
 	for _, q := range xmarkq.Queries() {
 		t0 := time.Now()
-		res, err := db.Query(q.Text)
+		res, err := db.Execute(context.Background(), q.Text, xquec.QueryOptions{})
 		if err != nil {
 			log.Fatalf("%s: %v", q.ID, err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -74,7 +75,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  XGrind-like: %d hit(s), scanned %d stream bytes\n", len(hits), visited)
-		res, err := db.Query(`FOR $p IN /site/people/person[@id = "person0"] RETURN $p/name/text()`)
+		res, err := db.Execute(context.Background(), `FOR $p IN /site/people/person[@id = "person0"] RETURN $p/name/text()`, xquec.QueryOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

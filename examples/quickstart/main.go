@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -38,10 +39,10 @@ func main() {
 	// 2. Query. The price comparison runs on compressed bytes (the
 	// decimal codec is order-preserving); only the returned titles are
 	// decompressed.
-	res, err := db.Query(`
+	res, err := db.Execute(context.Background(), `
 	  FOR $b IN document("library.xml")/library/book
 	  WHERE $b/price >= 32 AND $b/@year >= 2000
-	  RETURN $b/title/text()`)
+	  RETURN $b/title/text()`, xquec.QueryOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 	fmt.Println()
 
 	// 3. Aggregate in one expression, read through the item cursor.
-	total, err := db.Query(`sum(/library/book/price)`)
+	total, err := db.Execute(context.Background(), `sum(/library/book/price)`, xquec.QueryOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

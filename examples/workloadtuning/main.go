@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -65,7 +66,7 @@ func main() {
 		db   *xquec.Database
 	}{{"blind", blind}, {"tuned", tuned}} {
 		t0 := time.Now()
-		res, err := db.db.Query(joinQuery)
+		res, err := db.db.Execute(context.Background(), joinQuery, xquec.QueryOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

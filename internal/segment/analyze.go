@@ -1,59 +1,53 @@
-package shard
+package segment
 
 import (
-	"strings"
-
 	"xquec/internal/storage"
 	"xquec/internal/xquery"
 )
 
-// Decision is the scatter analyzer's verdict on one query.
+// Decision is the segment scatter analyzer's verdict on one query.
 type Decision struct {
-	// Scatter is true when per-shard evaluation + ordered merge is
-	// provably equivalent to evaluating on the unsharded corpus.
+	// Scatter is true when per-segment evaluation + ordered merge is
+	// provably equivalent to evaluating on the concatenated corpus.
 	Scatter bool
 	// Reason explains a false Scatter (for EXPLAIN output and metrics).
 	Reason string
 }
 
+// scatterLevel is the segment model's fixed partition depth: the
+// corpus root is depth 1 and every segment contributes a contiguous
+// run of its children (depth 2), so a binding strictly below the root
+// lives entirely inside one segment.
+const scatterLevel = 2
+
 // Analyze decides whether a query can be scattered across the set's
-// shards. The proof obligation: every result item must be computable
-// from a single partitioned subtree, and the item stream of each shard
-// must be a rank-contiguous subsequence of the global result.
+// segments. It is the shard analyzer's proof transposed to the segment
+// topology: the "spine" is just the corpus root, the partition level
+// is fixed at 2, and the merge rank is the segment index (all of
+// segment k's below-root content precedes segment k+1's in the
+// concatenated corpus, so one rank per stream preserves document
+// order exactly).
 //
 // Sufficient conditions, checked structurally:
 //
 //  1. The query's root is a FLWOR whose first clause is a FOR over the
-//     query's only absolute path, or the query is that path itself —
-//     so every binding (and everything derived from it via relative
-//     paths) is anchored below one subtree root. Exactly one absolute
-//     path may appear in the whole query: a second one reaches across
-//     subtree boundaries (multi-document joins, Q8/Q9).
-//  2. No top-level ORDER BY (it reorders across shards; nested FLWORs
-//     inside RETURN order within one binding and are fine).
-//  3. The binding path, resolved against every shard's structure
-//     summary, only reaches nodes strictly inside partitioned subtrees:
-//     elements at the partition level or deeper — never spine nodes
-//     (duplicated across shards) or partition-level attributes (they
-//     belong to spine elements and are duplicated too).
-//  4. Step predicates on the binding path run against spine content
-//     only when that content is replicated identically: predicates at
-//     depths above the partition level are rejected outright, and at
-//     exactly the partition level positional predicates are rejected
-//     (position among siblings is per-shard, not global).
-//
-// Everything else — aggregates over the binding, nested FLWORs,
-// constructors, WHERE joins between clause variables — is per-binding
-// work and needs no analysis. Queries failing these checks fall back
-// to the fused store, trading speed for unconditional correctness.
+//     query's only absolute path, or the query is that path itself.
+//  2. No top-level ORDER BY (it reorders across segments).
+//  3. The binding path, resolved against every segment's structure
+//     summary, only reaches nodes strictly below the root — except
+//     root attributes, which are safe: appended documents' roots are
+//     forbidden from carrying attributes, so only the base segment
+//     yields any, exactly matching the concatenated corpus.
+//  4. No predicate on the root step (each segment's root has different
+//     content, the corpus root has the union), and no positional
+//     predicate at depth 2 (position among root children is global,
+//     per-segment position is not).
 func Analyze(expr xquery.Expr, set *Set) Decision {
-	level := set.Man.PartitionLevel
-
 	var binding *xquery.PathExpr
 	switch x := expr.(type) {
 	case *xquery.FLWOR:
 		if x.OrderBy != nil {
-			return Decision{Reason: "top-level ORDER BY reorders across shards"}
+			return Decision{Reason: "top-level ORDER BY reorders across segments"}
 		}
 		if len(x.Clauses) == 0 || x.Clauses[0].Let {
 			return Decision{Reason: "first clause is not a FOR"}
@@ -76,19 +70,17 @@ func Analyze(expr xquery.Expr, set *Set) Decision {
 		return Decision{Reason: "query reads the document from more than one root path"}
 	}
 
-	// Steps up to (excluding) a trailing text() are the structural part
-	// whose matches decide the binding depth.
 	steps := binding.Steps
 	if len(steps) > 0 && steps[len(steps)-1].Test == xquery.TestText {
 		steps = steps[:len(steps)-1]
 	}
 	if len(steps) == 0 {
-		return Decision{Reason: "binding path selects the document root (spine)"}
+		return Decision{Reason: "binding path selects the document root (shared across segments)"}
 	}
 
 	// Predicate placement (condition 4). Step i has depth exactly i+1
 	// when no earlier step uses //; with a // prefix its depth is at
-	// least i+1, so i+1 > level is still a sound lower bound.
+	// least i+1, so i+1 > scatterLevel is still a sound lower bound.
 	descSeen := false
 	for i, st := range steps {
 		if st.Axis == xquery.AxisDescendantOrSelf {
@@ -99,22 +91,22 @@ func Analyze(expr xquery.Expr, set *Set) Decision {
 		}
 		minDepth := i + 1
 		switch {
-		case minDepth > level:
-			// strictly inside a subtree at every possible match
-		case minDepth == level && !descSeen:
+		case minDepth > scatterLevel:
+			// strictly inside one segment's content at every possible match
+		case minDepth == scatterLevel && !descSeen:
 			for _, pred := range st.Preds {
 				if isPositionalish(pred) {
-					return Decision{Reason: "positional predicate at the partition level counts per shard"}
+					return Decision{Reason: "positional predicate at the root-child level counts per segment"}
 				}
 			}
 		default:
-			return Decision{Reason: "predicate on a spine step evaluates differently per shard"}
+			return Decision{Reason: "predicate on the root step evaluates differently per segment"}
 		}
 	}
 
-	// Binding depth (condition 3): resolve the path against every
-	// shard's summary — shard summaries cover disjoint subtree sets, so
-	// the union is the corpus's full summary.
+	// Binding depth (condition 3): resolve against every segment's
+	// summary — each segment only contributes its own tags, so the union
+	// covers the concatenated corpus's summary.
 	pattern := make([]storage.PathStep, len(steps))
 	for i, st := range steps {
 		name := st.Name
@@ -125,12 +117,14 @@ func Analyze(expr xquery.Expr, set *Set) Decision {
 	}
 	for _, st := range set.Stores {
 		for _, sn := range st.Sum.Match(pattern) {
-			depth := summaryDepth(sn)
-			if depth < level {
-				return Decision{Reason: "binding path reaches spine nodes (duplicated across shards)"}
-			}
-			if depth == level && strings.HasPrefix(sn.Tag, "@") {
-				return Decision{Reason: "binding path reaches partition-level attributes (spine-owned)"}
+			// Depth ≥ 2 is inside one segment's content. That includes root
+			// attributes (summary depth 2, hanging off the depth-1 root):
+			// appended roots are attribute-free by construction, so only the
+			// base segment yields any — exactly the concatenated corpus's
+			// answer. Depth 1 is the root element itself, shared by every
+			// segment, and cannot scatter.
+			if summaryDepth(sn) < scatterLevel {
+				return Decision{Reason: "binding path reaches the corpus root (shared across segments)"}
 			}
 		}
 	}

@@ -1,0 +1,261 @@
+package segment
+
+import (
+	"context"
+	"io"
+
+	"xquec/internal/algebra"
+	"xquec/internal/engine"
+	"xquec/internal/storage"
+	"xquec/internal/vm"
+	"xquec/internal/xquery"
+)
+
+// EvalOptions configures one scattered evaluation over a segment set.
+type EvalOptions struct {
+	// Ctx is polled during per-segment evaluation; nil means no
+	// cancellation.
+	Ctx context.Context
+	// Parallelism is the per-segment intra-query worker budget
+	// (engine.WithParallelism semantics; 0 = GOMAXPROCS).
+	Parallelism int
+	// ProgramFor, when non-nil, supplies a compiled program for a
+	// segment store (nil return = tree walker). When ProgramFor itself
+	// is nil, Eval compiles per segment on the spot when the VM engine
+	// is enabled. Callers with a plan cache (Prepared) pass their lookup
+	// here so appends reuse programs compiled for unchanged segments.
+	ProgramFor func(*storage.Store) *vm.Program
+	// Text is the query source (for on-the-spot compiles and EXPLAIN).
+	Text string
+}
+
+// Eval evaluates a scatter-approved expr over every segment of set and
+// returns the merged cursor. Each segment's stream carries a single
+// rank — its segment index — because everything below the root of
+// segment k precedes segment k+1 in the concatenated corpus; the
+// k-way heap then yields exactly the whole-corpus document order.
+func Eval(set *Set, expr xquery.Expr, opts EvalOptions) (*Cursor, error) {
+	c := &Cursor{results: make([]*engine.Result, len(set.Stores))}
+	for i, st := range set.Stores {
+		var prog *vm.Program
+		if opts.ProgramFor != nil {
+			prog = opts.ProgramFor(st)
+		} else if vm.Enabled() {
+			prog, _ = vm.Compile(expr, st, opts.Text)
+		}
+		var res *engine.Result
+		var err error
+		if prog != nil {
+			res, err = prog.Run(vm.RunOptions{Ctx: opts.Ctx, Parallelism: opts.Parallelism})
+		} else {
+			eng := engine.New(st).WithParallelism(opts.Parallelism)
+			if opts.Ctx != nil {
+				eng = eng.WithContext(opts.Ctx)
+			}
+			res, err = eng.EvalStream(expr)
+		}
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.results[i] = res
+	}
+	return c, nil
+}
+
+// segItem is one segment item inside the merge heap; the rank (the
+// segment index) is the heap key, so the payload is just the source
+// stream index (for refill) and the serialized bytes.
+type segItem struct {
+	seg int
+	xml []byte
+}
+
+// Cursor is the merged per-segment result stream: a k-way merge over
+// the segment streams by segment rank, pulled one item per Next. It is
+// a single-consumer cursor with sticky errors, mirroring the contracts
+// of engine.Result and shard.Cursor so the public Results API can wrap
+// any of the three interchangeably.
+//
+// Ordering: every item of stream k has rank k, ranks never tie across
+// streams, and the heap's strict-< sift keeps equal ranks adjacent —
+// so the merge degenerates to stream concatenation in segment order,
+// which is exactly the concatenated corpus's document order.
+type Cursor struct {
+	results []*engine.Result
+
+	primed bool
+	err    error // sticky terminal error
+	heap   algebra.KWayHeap[segItem]
+	served int
+	buf    [][]byte // Len-materialized remainder
+	bufPos int
+}
+
+// Prime forces the first item of every segment (or its clean end), so
+// eager failures surface at call time rather than on the first Next.
+func (c *Cursor) Prime() error { return c.init() }
+
+func (c *Cursor) init() error {
+	if c.primed {
+		return c.err
+	}
+	c.primed = true
+	for seg := range c.results {
+		xml, ok, err := c.advance(seg)
+		if err != nil {
+			c.fail(err)
+			return c.err
+		}
+		if ok {
+			c.heap.Push(uint64(seg), segItem{seg: seg, xml: xml})
+		}
+	}
+	c.heap.Init()
+	return nil
+}
+
+// advance pulls and serializes the next item of segment seg; ok=false
+// means that segment's stream is exhausted.
+func (c *Cursor) advance(seg int) ([]byte, bool, error) {
+	res := c.results[seg]
+	it, ok, err := res.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	xml, err := res.AppendItemXML(nil, it)
+	if err != nil {
+		return nil, false, err
+	}
+	return xml, true, nil
+}
+
+// Next returns the next merged item's serialized XML/text. ok=false
+// ends the stream; errors are sticky.
+func (c *Cursor) Next() ([]byte, bool, error) {
+	if err := c.init(); err != nil {
+		return nil, false, err
+	}
+	if c.err != nil {
+		return nil, false, c.err
+	}
+	if c.buf != nil {
+		if c.bufPos < len(c.buf) {
+			x := c.buf[c.bufPos]
+			c.buf[c.bufPos] = nil
+			c.bufPos++
+			c.served++
+			return x, true, nil
+		}
+		return nil, false, nil
+	}
+	x, ok, err := c.step()
+	if err != nil {
+		c.fail(err)
+		return nil, false, c.err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	c.served++
+	return x, true, nil
+}
+
+// step performs one heap merge step: take the minimum-rank item, then
+// refill its source stream (ReplaceMin when it yields, PopMin when
+// it's exhausted).
+func (c *Cursor) step() ([]byte, bool, error) {
+	if c.heap.Len() == 0 {
+		return nil, false, nil
+	}
+	_, top := c.heap.Min()
+	xml, ok, err := c.advance(top.seg)
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		c.heap.ReplaceMin(uint64(top.seg), segItem{seg: top.seg, xml: xml})
+	} else {
+		c.heap.PopMin()
+	}
+	return top.xml, true, nil
+}
+
+func (c *Cursor) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.closeAll()
+}
+
+// Len returns the total number of result items, forcing the remaining
+// merge (items are buffered for later consumption, mirroring
+// engine.Result.Len).
+func (c *Cursor) Len() int {
+	if err := c.init(); err != nil {
+		return c.served
+	}
+	if c.buf == nil && c.err == nil {
+		buf := [][]byte{}
+		for {
+			x, ok, err := c.step()
+			if err != nil {
+				c.fail(err)
+				break
+			}
+			if !ok {
+				break
+			}
+			buf = append(buf, x)
+		}
+		c.buf, c.bufPos = buf, 0
+	}
+	return c.served + len(c.buf) - c.bufPos
+}
+
+// WriteXML streams the not-yet-consumed items to w, newline-separated
+// with no trailing newline — byte-compatible with engine.Result's
+// serialization of the same item sequence.
+func (c *Cursor) WriteXML(w io.Writer) (int, error) {
+	written := 0
+	first := true
+	for {
+		x, ok, err := c.Next()
+		if err != nil {
+			return written, err
+		}
+		if !ok {
+			return written, nil
+		}
+		if !first {
+			n, err := io.WriteString(w, "\n")
+			written += n
+			if err != nil {
+				c.fail(err)
+				return written, err
+			}
+		}
+		first = false
+		n, err := w.Write(x)
+		written += n
+		if err != nil {
+			c.fail(err)
+			return written, err
+		}
+	}
+}
+
+// Close releases every segment stream and discards unconsumed items.
+// Idempotent.
+func (c *Cursor) Close() error {
+	c.closeAll()
+	return nil
+}
+
+func (c *Cursor) closeAll() {
+	for _, res := range c.results {
+		if res != nil {
+			res.Close()
+		}
+	}
+}

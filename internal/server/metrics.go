@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,27 @@ type Metrics struct {
 
 	ResultItems atomic.Int64 // result sequence items returned
 	ResultBytes atomic.Int64 // serialized result bytes returned
+
+	// Write-path traffic: documents appended and committed via /append,
+	// their uncompressed bytes, failed appends, compactions completed
+	// and failed, and a gauge of compactions currently running.
+	AppendsTotal       atomic.Int64
+	AppendBytes        atomic.Int64
+	AppendErrors       atomic.Int64
+	CompactionsTotal   atomic.Int64
+	CompactionErrors   atomic.Int64
+	CompactionsRunning atomic.Int64
+
+	// segments, when set, snapshots per-repository segment counts for
+	// the repositories this server has appended to (set once at server
+	// construction, before any traffic).
+	segments func() map[string]int64
+
+	// Compaction wall-clock duration, observed once per completed
+	// compaction (synchronous or background).
+	compCount atomic.Int64
+	compSumUs atomic.Int64
+	compBkt   [len(latencyBounds) + 1]atomic.Int64
 
 	latCount atomic.Int64
 	latSumUs atomic.Int64 // microseconds, to keep the sum integral
@@ -116,6 +138,11 @@ func (m *Metrics) ObserveFirstByte(d time.Duration) {
 	observe(d, &m.fbCount, &m.fbSumUs, &m.fbBkt)
 }
 
+// ObserveCompaction records one completed compaction's duration.
+func (m *Metrics) ObserveCompaction(d time.Duration) {
+	observe(d, &m.compCount, &m.compSumUs, &m.compBkt)
+}
+
 func observe(d time.Duration, count, sumUs *atomic.Int64, bkt *[len(latencyBounds) + 1]atomic.Int64) {
 	count.Add(1)
 	sumUs.Add(d.Microseconds())
@@ -151,6 +178,17 @@ type Snapshot struct {
 	ResultBytes     int64   `json:"result_bytes"`
 	LatencyMeanMs   float64 `json:"latency_mean_ms"`
 	FirstByteMeanMs float64 `json:"first_byte_mean_ms"`
+
+	// Write-path counters: /append traffic, compactions, and the
+	// per-repository segment counts of appended-to repositories.
+	AppendsTotal       int64            `json:"appends_total"`
+	AppendBytes        int64            `json:"append_bytes_total"`
+	AppendErrors       int64            `json:"append_errors"`
+	CompactionsTotal   int64            `json:"compactions_total"`
+	CompactionErrors   int64            `json:"compaction_errors"`
+	CompactionsRunning int64            `json:"compactions_running"`
+	CompactionMeanMs   float64          `json:"compaction_mean_ms"`
+	RepoSegments       map[string]int64 `json:"repo_segments,omitempty"`
 
 	// ValueDecodes counts individual container-value decompressions
 	// (process-wide): with pull-based results it advances only for items
@@ -196,23 +234,23 @@ type Snapshot struct {
 // Snapshot captures the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		QueriesTotal: m.QueriesTotal.Load(),
-		QueryErrors:  m.QueryErrors.Load(),
-		Timeouts:     m.Timeouts.Load(),
-		InFlight:     m.InFlight.Load(),
-		RepoHits:     m.RepoHits.Load(),
-		RepoMisses:   m.RepoMisses.Load(),
-		PlanHits:     m.PlanHits.Load(),
-		PlanMisses:   m.PlanMisses.Load(),
-		PlanHitsVM:   m.PlanHitsVM.Load(),
-		PlanHitsTree: m.PlanHitsTree.Load(),
-		PlanMissesVM: m.PlanMissesVM.Load(),
+		QueriesTotal:   m.QueriesTotal.Load(),
+		QueryErrors:    m.QueryErrors.Load(),
+		Timeouts:       m.Timeouts.Load(),
+		InFlight:       m.InFlight.Load(),
+		RepoHits:       m.RepoHits.Load(),
+		RepoMisses:     m.RepoMisses.Load(),
+		PlanHits:       m.PlanHits.Load(),
+		PlanMisses:     m.PlanMisses.Load(),
+		PlanHitsVM:     m.PlanHitsVM.Load(),
+		PlanHitsTree:   m.PlanHitsTree.Load(),
+		PlanMissesVM:   m.PlanMissesVM.Load(),
 		PlanMissesTree: m.PlanMissesTree.Load(),
 		PlanEvictVM:    m.PlanEvictionsVM.Load(),
 		PlanEvictTree:  m.PlanEvictionsTree.Load(),
 		PlanCacheBytes: m.PlanCacheBytes.Load(),
-		ResultItems:  m.ResultItems.Load(),
-		ResultBytes:  m.ResultBytes.Load(),
+		ResultItems:    m.ResultItems.Load(),
+		ResultBytes:    m.ResultBytes.Load(),
 	}
 	s.StreamQueries = m.StreamQueries.Load()
 	if n := m.latCount.Load(); n > 0 {
@@ -220,6 +258,20 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if n := m.fbCount.Load(); n > 0 {
 		s.FirstByteMeanMs = float64(m.fbSumUs.Load()) / float64(n) / 1000
+	}
+	s.AppendsTotal = m.AppendsTotal.Load()
+	s.AppendBytes = m.AppendBytes.Load()
+	s.AppendErrors = m.AppendErrors.Load()
+	s.CompactionsTotal = m.CompactionsTotal.Load()
+	s.CompactionErrors = m.CompactionErrors.Load()
+	s.CompactionsRunning = m.CompactionsRunning.Load()
+	if n := m.compCount.Load(); n > 0 {
+		s.CompactionMeanMs = float64(m.compSumUs.Load()) / float64(n) / 1000
+	}
+	if m.segments != nil {
+		if counts := m.segments(); len(counts) > 0 {
+			s.RepoSegments = counts
+		}
 	}
 	s.ValueDecodes = storage.DecodeOps()
 	s.DecodeScratchGets, s.DecodeScratchAllocs = storage.ScratchStats()
@@ -286,6 +338,28 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("xquecd_result_items_total", "Result items returned.", m.ResultItems.Load())
 	counter("xquecd_result_bytes_total", "Serialized result bytes returned.", m.ResultBytes.Load())
 
+	counter("xquecd_appends_total", "Documents appended via /append.", m.AppendsTotal.Load())
+	counter("xquecd_append_bytes_total", "Uncompressed bytes of appended documents.", m.AppendBytes.Load())
+	counter("xquecd_append_errors_total", "Appends that failed (validation, ingest or persist).", m.AppendErrors.Load())
+	counter("xquecd_compactions_total", "Compactions completed.", m.CompactionsTotal.Load())
+	counter("xquecd_compaction_errors_total", "Compactions that failed.", m.CompactionErrors.Load())
+	fmt.Fprintf(w, "# HELP xquecd_compactions_running Compactions currently running.\n")
+	fmt.Fprintf(w, "# TYPE xquecd_compactions_running gauge\nxquecd_compactions_running %d\n", m.CompactionsRunning.Load())
+	if m.segments != nil {
+		if counts := m.segments(); len(counts) > 0 {
+			names := make([]string, 0, len(counts))
+			for name := range counts {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(w, "# HELP xquecd_repo_segments Segment count per appended-to repository.\n")
+			fmt.Fprintf(w, "# TYPE xquecd_repo_segments gauge\n")
+			for _, name := range names {
+				fmt.Fprintf(w, "xquecd_repo_segments{repo=%q} %d\n", name, counts[name])
+			}
+		}
+	}
+
 	counter("xquecd_value_decodes_total", "Individual container-value decompressions.", storage.DecodeOps())
 	gets, allocs := storage.ScratchStats()
 	counter("xquecd_decode_scratch_gets_total", "Pooled decode buffers handed out.", gets)
@@ -345,4 +419,5 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 	histogram("xquecd_query_duration_seconds", "Query latency.", &m.latCount, &m.latSumUs, &m.latBkt)
 	histogram("xquecd_first_byte_seconds", "Streaming time-to-first-item.", &m.fbCount, &m.fbSumUs, &m.fbBkt)
+	histogram("xquecd_compaction_seconds", "Compaction wall-clock duration.", &m.compCount, &m.compSumUs, &m.compBkt)
 }

@@ -63,22 +63,23 @@ func NewPool(dir string, capacity int) *Pool {
 }
 
 // repoPath maps a repository name to its file, rejecting names that
-// escape the directory. A name resolves to its single-repository file
-// (name.xqc) when that exists, else to its shard-set manifest
-// (name.xqcs) — one namespace serves both layouts.
+// escape the directory. A name resolves to its segment-set manifest
+// (name.xqcg) when that exists — a repository that has been appended
+// to is addressed through its manifest, never through a stale single
+// file — else to its single-repository file (name.xqc), else to its
+// shard-set manifest (name.xqcs): one namespace serves all three
+// layouts.
 func (p *Pool) repoPath(name string) (string, error) {
 	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
 		return "", fmt.Errorf("server: invalid repository name %q", name)
 	}
-	single := filepath.Join(p.dir, name+".xqc")
-	if _, err := os.Stat(single); err == nil {
-		return single, nil
+	for _, ext := range []string{".xqcg", ".xqc", ".xqcs"} {
+		full := filepath.Join(p.dir, name+ext)
+		if _, err := os.Stat(full); err == nil {
+			return full, nil
+		}
 	}
-	manifest := filepath.Join(p.dir, name+".xqcs")
-	if _, err := os.Stat(manifest); err == nil {
-		return manifest, nil
-	}
-	return single, nil
+	return filepath.Join(p.dir, name+".xqc"), nil
 }
 
 // Get returns the open repository for name, loading it if necessary.
@@ -128,6 +129,32 @@ func (p *Pool) Get(name string) (db *xquec.Database, cached bool, err error) {
 	return e.db, false, nil
 }
 
+// Swap atomically replaces (or installs) the resident handle for name
+// with db — the publication point of the repository write path: a
+// Writer commits or compacts, the new Database lands here, and every
+// later Get serves it. In-flight queries on the previous handle finish
+// on their own snapshot. Loads already underway for name are left to
+// complete; their entry is replaced, so they serve at most one query
+// generation late.
+func (p *Pool) Swap(name string, db *xquec.Database) {
+	e := &poolEntry{name: name, ready: make(chan struct{}), db: db}
+	close(e.ready)
+	p.mu.Lock()
+	if old, ok := p.entries[name]; ok {
+		p.lru.Remove(old.elem)
+	}
+	e.elem = p.lru.PushFront(e)
+	p.entries[name] = e
+	for p.lru.Len() > p.cap {
+		tail := p.lru.Back()
+		victim := tail.Value.(*poolEntry)
+		p.lru.Remove(tail)
+		delete(p.entries, victim.name)
+		p.evictions++
+	}
+	p.mu.Unlock()
+}
+
 // Resident returns the names currently held by the pool, most recently
 // used first.
 func (p *Pool) Resident() []string {
@@ -141,9 +168,10 @@ func (p *Pool) Resident() []string {
 }
 
 // Available lists the repository names present in the pool's directory
-// — .xqc repositories and .xqcs shard-set manifests (per-shard
-// *.shard-NNN.xqc files belong to their manifest and are not listed
-// separately), sorted and deduplicated.
+// — .xqc repositories, .xqcs shard-set manifests and .xqcg segment-set
+// manifests (per-shard *.shard-NNN.xqc and per-segment *.seg-NNNNNN.xqc
+// files belong to their manifest and are not listed separately), sorted
+// and deduplicated.
 func (p *Pool) Available() ([]string, error) {
 	des, err := os.ReadDir(p.dir)
 	if err != nil {
@@ -164,10 +192,12 @@ func (p *Pool) Available() ([]string, error) {
 		switch {
 		case strings.HasSuffix(de.Name(), ".xqcs"):
 			add(strings.TrimSuffix(de.Name(), ".xqcs"))
+		case strings.HasSuffix(de.Name(), ".xqcg"):
+			add(strings.TrimSuffix(de.Name(), ".xqcg"))
 		case strings.HasSuffix(de.Name(), ".xqc"):
 			base := strings.TrimSuffix(de.Name(), ".xqc")
-			if i := strings.LastIndex(base, ".shard-"); i >= 0 {
-				continue // a manifest's shard file, addressed via the manifest
+			if strings.LastIndex(base, ".shard-") >= 0 || strings.LastIndex(base, ".seg-") >= 0 {
+				continue // a manifest's shard/segment file, addressed via the manifest
 			}
 			add(base)
 		}

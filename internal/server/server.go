@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"xquec"
@@ -57,6 +58,20 @@ type Config struct {
 	// ShardFanout bounds how many shards a scattered query evaluates
 	// concurrently. Default 0 (all shards at once).
 	ShardFanout int
+	// MaxAppendBytes caps the /append request body (default 64 MiB —
+	// appended documents are whole XML documents, so the /query body cap
+	// would be far too small).
+	MaxAppendBytes int64
+	// CompactAfter, when positive, triggers a background compaction once
+	// an append leaves a repository with at least this many segments.
+	// One compaction runs per repository at a time; queries during the
+	// compaction keep their snapshot and are never blocked. Default 0
+	// (compact only on request).
+	CompactAfter int
+	// AppendParallelism is the ingestion worker budget for /append
+	// commits and compactions (default GOMAXPROCS — ingestion is a
+	// foreground cost the client is waiting on).
+	AppendParallelism int
 }
 
 func (c *Config) fillDefaults() {
@@ -81,6 +96,12 @@ func (c *Config) fillDefaults() {
 	if c.QueryParallelism <= 0 {
 		c.QueryParallelism = 1
 	}
+	if c.MaxAppendBytes <= 0 {
+		c.MaxAppendBytes = 64 << 20
+	}
+	if c.AppendParallelism <= 0 {
+		c.AppendParallelism = runtime.GOMAXPROCS(0)
+	}
 }
 
 // Server is the xquecd query service: repository pool + plan cache +
@@ -92,6 +113,15 @@ type Server struct {
 	metrics *Metrics
 	sem     chan struct{}
 	start   time.Time
+
+	// The write path: one Writer per appended-to repository (created on
+	// first /append, bound to the repository's segment-set manifest) and
+	// a single-in-flight guard for background compactions. Writers
+	// publish through Pool.Swap, so queries switch to the grown
+	// repository atomically while in-flight ones keep their snapshot.
+	wmu        sync.Mutex
+	writers    map[string]*xquec.Writer
+	compacting map[string]bool
 }
 
 // New builds a Server over cfg.RepoDir.
@@ -103,14 +133,18 @@ func New(cfg Config) (*Server, error) {
 	if st, err := os.Stat(cfg.RepoDir); err != nil || !st.IsDir() {
 		return nil, fmt.Errorf("server: repository directory %s is not a directory", cfg.RepoDir)
 	}
-	return &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.RepoDir, cfg.PoolSize),
-		plans:   NewPlanCache(cfg.PlanCacheSize),
-		metrics: &Metrics{},
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		start:   time.Now(),
-	}, nil
+	s := &Server{
+		cfg:        cfg,
+		pool:       NewPool(cfg.RepoDir, cfg.PoolSize),
+		plans:      NewPlanCache(cfg.PlanCacheSize),
+		metrics:    &Metrics{},
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		start:      time.Now(),
+		writers:    map[string]*xquec.Writer{},
+		compacting: map[string]bool{},
+	}
+	s.metrics.segments = s.segmentCounts
+	return s, nil
 }
 
 // Metrics exposes the server's metrics (for tests and embedding).
@@ -126,6 +160,7 @@ func (s *Server) PlanCache() *PlanCache { return s.plans }
 //
 //	POST /query         {"repo": name, "query": text, "timeout_ms": n?}
 //	POST /query/stream  same body; newline-separated items, chunked
+//	POST /append        {"repo": name, "doc": xml, "compact": bool?}
 //	GET  /repos         available + resident repositories
 //	GET  /stats         JSON counters and cache statistics
 //	GET  /healthz       liveness probe
@@ -134,6 +169,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/query/stream", s.handleQueryStream)
+	mux.HandleFunc("/append", s.handleAppend)
 	mux.HandleFunc("/repos", s.handleRepos)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -382,7 +418,7 @@ func (s *Server) resolve(ctx context.Context, req QueryRequest) (res *xquec.Resu
 		s.metrics.PlanCacheBytes.Store(bytes)
 	}
 
-	res, err = prep.RunWith(ctx, s.queryOptions(req))
+	res, err = prep.Execute(ctx, s.queryOptions(req))
 	if err != nil {
 		return nil, planCached, repoCached, statusFor(err), err
 	}

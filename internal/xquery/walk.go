@@ -1,0 +1,53 @@
+package xquery
+
+// Walk visits every node of the AST in pre-order — clauses, step
+// predicates, constructor attribute values and nested content included.
+// It is the shared traversal under the scatter analyzers (shard and
+// segment) and any other static inspection of a parsed query.
+func Walk(expr Expr, fn func(Expr)) {
+	if expr == nil {
+		return
+	}
+	fn(expr)
+	switch x := expr.(type) {
+	case *FLWOR:
+		for _, c := range x.Clauses {
+			Walk(c.Seq, fn)
+		}
+		Walk(x.Where, fn)
+		Walk(x.OrderBy, fn)
+		Walk(x.Return, fn)
+	case *PathExpr:
+		for _, st := range x.Steps {
+			for _, p := range st.Preds {
+				Walk(p, fn)
+			}
+		}
+	case *Cmp:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *Logic:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *Arith:
+		Walk(x.Left, fn)
+		Walk(x.Right, fn)
+	case *Call:
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *ElementCtor:
+		for _, a := range x.Attrs {
+			for _, v := range a.Value {
+				Walk(v, fn)
+			}
+		}
+		for _, c := range x.Content {
+			Walk(c, fn)
+		}
+	case *Sequence:
+		for _, it := range x.Items {
+			Walk(it, fn)
+		}
+	}
+}

@@ -30,13 +30,26 @@ import (
 // A Results is a single-consumer cursor. The Database it came from may
 // serve any number of concurrent queries, each with its own Results.
 //
-// On a sharded database a scattered query is backed by the
-// coordinator's merging cursor instead of a single engine evaluation;
-// the API and the item sequence are identical, and Partial reports
-// whether any shard was dropped under the partial-results policy.
+// On a sharded or segmented database a scattered query is backed by a
+// merging cursor (the shard coordinator's, or the segment merge)
+// instead of a single engine evaluation; the API and the item sequence
+// are identical, and Partial reports whether any shard was dropped
+// under the partial-results policy.
 type Results struct {
 	res *engine.Result
-	cur *shard.Cursor
+	cur byteCursor
+}
+
+// byteCursor is the merged-stream backend contract: a single-consumer
+// cursor over pre-serialized items. shard.Cursor and segment.Cursor
+// both satisfy it, so Results wraps either interchangeably with the
+// plain engine result.
+type byteCursor interface {
+	Prime() error
+	Next() ([]byte, bool, error)
+	WriteXML(w io.Writer) (int, error)
+	Close() error
+	Len() int
 }
 
 // Item is one result item. It is a lightweight handle — a stored node
@@ -128,8 +141,11 @@ func (r *Results) Len() int {
 // Partial reports whether any shard's results were dropped under the
 // partial-results policy (QueryOptions.PartialResults on a sharded
 // database). It is definitive once the cursor is exhausted; false for
-// every non-scattered query.
-func (r *Results) Partial() bool { return r.cur != nil && r.cur.Partial() }
+// every non-scattered query (segment merges are always fail-fast).
+func (r *Results) Partial() bool {
+	sc, ok := r.cur.(*shard.Cursor)
+	return ok && sc.Partial()
+}
 
 // SerializeXML renders the remaining items as XML/text, one item per
 // line.

@@ -7,18 +7,28 @@
 //
 // The three public entry points mirror the paper's architecture
 // (Fig. 1): Compress is the loader/compressor, Database is the
-// compressed repository, and Database.Query is the query processor.
+// compressed repository, and Database.Execute is the query processor.
 //
-// Query returns a pull-based Results cursor: items are computed — and
+// Execute returns a pull-based Results cursor: items are computed — and
 // their values decompressed — one Next at a time, so consumers that
 // stop early, stream to a writer, or cancel a context never pay for
 // results they do not read.
 //
 //	db, err := xquec.Compress(doc, xquec.Options{})
-//	res, err := db.Query(`FOR $p IN document("d")/site/people/person
-//	                      WHERE $p/age >= 30 RETURN $p/name/text()`)
+//	res, err := db.Execute(ctx, `FOR $p IN document("d")/site/people/person
+//	                             WHERE $p/age >= 30 RETURN $p/name/text()`,
+//		xquec.QueryOptions{})
 //	defer res.Close()
 //	n, err := res.WriteXML(os.Stdout) // or: item, ok, err := res.Next()
+//
+// Repositories are mutable through a Writer: Append stages documents,
+// Commit ingests them as append segments sharing the repository's name
+// dictionary, and Compact folds the segments back into one repository.
+// Readers holding the previous handle keep their snapshot.
+//
+//	w, err := xquec.NewWriter(db, xquec.Options{})
+//	err = w.Append(moreXML)
+//	db2, err := w.Commit()    // db is untouched; db2 sees the append
 //
 // Supplying a query workload lets the cost model (§3 of the paper)
 // choose how containers are partitioned into shared source models and
@@ -32,6 +42,7 @@ package xquec
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
@@ -40,6 +51,7 @@ import (
 
 	"xquec/internal/costmodel"
 	"xquec/internal/engine"
+	"xquec/internal/segment"
 	"xquec/internal/shard"
 	"xquec/internal/storage"
 	"xquec/internal/vm"
@@ -78,31 +90,55 @@ type Options struct {
 	// GOMAXPROCS, 1 forces the serial path; any setting produces a
 	// byte-identical repository.
 	Parallelism int
+	// Shards, when 2 or more, targets the scatter-gather serving tier:
+	// the document splits into that many shard repositories at a subtree
+	// boundary (round-robin over the partition-level subtrees), all
+	// sharing one name dictionary, opened together as one logical
+	// Database. Queries over it behave exactly like queries over a
+	// single repository — scatterable ones fan out across the shards,
+	// the rest run on a fused view — and return identical results.
+	// Workload-driven compression choices apply per shard. 0 or 1 builds
+	// a single repository.
+	Shards int
 }
 
 // Database is a compressed, queryable XML document — the paper's
 // compressed repository plus its query processor.
 //
-// The repository is immutable after loading, so a Database is safe for
-// concurrent use on the read path: Query, QueryContext, Prepare,
-// Explain, Stats, Containers and Decompress may all run from any
-// number of goroutines over one Database (each query gets its own
-// evaluation state; the store, containers, summary and codecs are
-// never written after Load/Open).
+// A Database handle is immutable, so it is safe for concurrent use on
+// the read path: Execute, Prepare, Explain, Stats, Containers and
+// Decompress may all run from any number of goroutines over one
+// Database (each query gets its own evaluation state; the store,
+// containers, summary and codecs are never written after Load/Open).
+// Writes never mutate a handle either — a Writer's Commit/Compact
+// builds a new Database value and readers of the old one keep their
+// snapshot.
 type Database struct {
 	store *storage.Store
 
-	// set and coord are non-nil for sharded databases (CompressSharded /
-	// Open on a shard-set manifest): the corpus lives in N shard
+	// set and coord are non-nil for sharded databases (Options.Shards ≥
+	// 2 / Open on a shard-set manifest): the corpus lives in N shard
 	// repositories sharing one name dictionary, scatterable queries fan
 	// out across them, and everything else runs on the lazily fused
 	// single store (db.fused).
 	set   *shard.Set
 	coord *shard.Coordinator
+
+	// segs is non-nil for segmented databases (a Writer's Commit / Open
+	// on a segment-set manifest): the corpus is a base segment plus
+	// append segments sharing one name dictionary, scatterable queries
+	// evaluate per segment and merge in document order, the rest run on
+	// the lazily fused single store.
+	segs *segment.Set
 }
 
-// Compress parses and compresses an XML document into a Database.
+// Compress parses and compresses an XML document into a Database. With
+// Options.Shards ≥ 2 the repository is built sharded (see the field
+// doc); otherwise it is a single repository.
 func Compress(doc []byte, opts Options) (*Database, error) {
+	if opts.Shards >= 2 {
+		return buildShardSet(doc, opts.Shards, opts)
+	}
 	plan, err := resolvePlan(doc, opts)
 	if err != nil {
 		return nil, err
@@ -115,17 +151,20 @@ func Compress(doc []byte, opts Options) (*Database, error) {
 }
 
 // CompressSharded is Compress targeting the scatter-gather serving
-// tier: the document splits into `shards` shard repositories at a
-// subtree boundary (round-robin over the partition-level subtrees),
-// all sharing one name dictionary, opened together as one logical
-// Database. Queries over it behave exactly like queries over
-// Compress's single repository — scatterable ones fan out across the
-// shards, the rest run on a fused view — and return identical results.
-// Workload-driven compression choices apply per shard.
+// tier (see Options.Shards).
+//
+// Deprecated: use Compress with Options.Shards. CompressSharded keeps
+// its historical behavior — a shards value of 1 still builds an
+// explicit one-shard set, where Compress{Shards: 1} builds a plain
+// single repository.
 func CompressSharded(doc []byte, shards int, opts Options) (*Database, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("xquec: shard count %d < 1", shards)
 	}
+	return buildShardSet(doc, shards, opts)
+}
+
+func buildShardSet(doc []byte, shards int, opts Options) (*Database, error) {
 	plan, err := resolvePlan(doc, opts)
 	if err != nil {
 		return nil, err
@@ -195,12 +234,22 @@ func WorkloadFromQueries(queries ...string) (*Workload, error) {
 }
 
 // Open loads a Database previously saved with SaveFile — a single
-// repository or a shard-set manifest (either detected by content, so a
-// serving pool can open both kinds through one call).
+// repository, a shard-set manifest, or a segment-set manifest (all
+// detected by content, so a serving pool can open every kind through
+// one call).
 func Open(path string) (*Database, error) {
-	if sharded, err := isManifest(path); err != nil {
+	kind, err := manifestKind(path)
+	if err != nil {
 		return nil, openErr(fmt.Errorf("xquec: open repository %s: %w", path, err))
-	} else if sharded {
+	}
+	switch kind {
+	case manifestSegment:
+		set, err := segment.Open(path)
+		if err != nil {
+			return nil, openErr(fmt.Errorf("xquec: open segment set %s: %w", path, err))
+		}
+		return fromSegs(set), nil
+	case manifestShard:
 		set, err := shard.OpenSet(path)
 		if err != nil {
 			return nil, openErr(fmt.Errorf("xquec: open shard set %s: %w", path, err))
@@ -214,27 +263,83 @@ func Open(path string) (*Database, error) {
 	return fromStore(s), nil
 }
 
-// isManifest sniffs whether path is a shard-set manifest: by extension
-// first, then by leading byte (manifests are JSON objects, repositories
-// start with the XQCR magic).
-func isManifest(path string) (bool, error) {
+const (
+	manifestNone    = ""
+	manifestShard   = "shard"
+	manifestSegment = "segment"
+)
+
+// manifestKind sniffs whether path is a set manifest, and which kind:
+// by extension first, then by content (manifests are JSON objects
+// carrying a format field, repositories start with the XQCR magic).
+func manifestKind(path string) (string, error) {
 	if strings.HasSuffix(path, shard.ManifestExt) {
-		return true, nil
+		return manifestShard, nil
+	}
+	if strings.HasSuffix(path, segment.ManifestExt) {
+		return manifestSegment, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return false, err
+		return manifestNone, err
 	}
-	defer f.Close()
 	var b [1]byte
-	if _, err := f.Read(b[:]); err != nil {
-		return false, err
+	_, err = f.Read(b[:])
+	f.Close()
+	if err != nil {
+		return manifestNone, err
 	}
-	return b[0] == '{', nil
+	if b[0] != '{' {
+		return manifestNone, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return manifestNone, err
+	}
+	if kind := sniffManifest(data); kind != manifestNone {
+		return kind, nil
+	}
+	// A JSON object with an unknown format: route to the shard-manifest
+	// parser so the error names the expected format.
+	return manifestShard, nil
 }
 
-// OpenBytes loads a Database from serialized bytes.
+// sniffManifest classifies raw bytes as a set manifest by the JSON
+// format field; manifestNone for anything that is not a recognizable
+// manifest.
+func sniffManifest(data []byte) string {
+	if len(data) == 0 || data[0] != '{' {
+		return manifestNone
+	}
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if json.Unmarshal(data, &probe) != nil {
+		return manifestNone
+	}
+	switch probe.Format {
+	case shard.ManifestFormat:
+		return manifestShard
+	case segment.ManifestFormat:
+		return manifestSegment
+	}
+	return manifestNone
+}
+
+// OpenBytes loads a Database from serialized repository bytes. Manifest
+// bytes are detected the same way Open detects manifest files — but a
+// manifest only references its shard/segment files, it does not contain
+// them, so OpenBytes rejects one with a typed ErrCorruptRepository
+// explaining the mismatch instead of failing on the magic check.
 func OpenBytes(data []byte) (*Database, error) {
+	switch sniffManifest(data) {
+	case manifestShard:
+		return nil, tagErr(ErrCorruptRepository, fmt.Errorf(
+			"xquec: load repository: data is a shard-set manifest (%s), which references external shard files rather than containing them; open it from its path with Open", shard.ManifestFormat))
+	case manifestSegment:
+		return nil, tagErr(ErrCorruptRepository, fmt.Errorf(
+			"xquec: load repository: data is a segment-set manifest (%s), which references external segment files rather than containing them; open it from its path with Open", segment.ManifestFormat))
+	}
 	s, err := storage.LoadBinary(data)
 	if err != nil {
 		return nil, openErr(fmt.Errorf("xquec: load repository: %w", err))
@@ -250,6 +355,10 @@ func fromSet(set *shard.Set) *Database {
 	return &Database{set: set, coord: shard.NewCoordinator(set)}
 }
 
+func fromSegs(set *segment.Set) *Database {
+	return &Database{segs: set}
+}
+
 // Sharded reports whether the database is a shard set.
 func (db *Database) Sharded() bool { return db.set != nil }
 
@@ -261,36 +370,63 @@ func (db *Database) Shards() int {
 	return 1
 }
 
-// TopologyKey identifies the repository instance and its shard
+// Segmented reports whether the database is a segment set (opened from
+// a segment-set manifest or produced by a Writer).
+func (db *Database) Segmented() bool { return db.segs != nil }
+
+// Segments returns the segment count (1 for an unsegmented database).
+func (db *Database) Segments() int {
+	if db.segs != nil {
+		return db.segs.Segments()
+	}
+	return 1
+}
+
+// TopologyKey identifies the repository instance and its shard/segment
 // topology for cache keying: plan caches must include it so prepared
 // statements never outlive a swap to a repository with a different
-// store or shard layout.
+// store or layout. A Writer's Commit/Compact produces a Database with
+// a fresh key (new set value, advanced generation), so caches keyed on
+// it invalidate on swap.
 func (db *Database) TopologyKey() string {
 	if db.set != nil {
 		return fmt.Sprintf("set=%p;%s", db.set, db.set.TopologyKey())
 	}
+	if db.segs != nil {
+		return fmt.Sprintf("segset=%p;%s", db.segs, db.segs.TopologyKey())
+	}
 	return fmt.Sprintf("store=%p", db.store)
 }
 
-// fused returns the single-store view: the store itself, or the shard
-// set's lazily reconstructed fusion.
+// fused returns the single-store view: the store itself, or the
+// shard/segment set's lazily reconstructed fusion.
 func (db *Database) fused(parallelism int) (*storage.Store, error) {
-	if db.set == nil {
-		return db.store, nil
+	if db.set != nil {
+		s, err := db.set.Fused(parallelism)
+		if err != nil {
+			return nil, tagErr(ErrCorruptRepository, err)
+		}
+		return s, nil
 	}
-	s, err := db.set.Fused(parallelism)
-	if err != nil {
-		return nil, tagErr(ErrCorruptRepository, err)
+	if db.segs != nil {
+		s, err := db.segs.Fused(parallelism)
+		if err != nil {
+			return nil, tagErr(ErrCorruptRepository, err)
+		}
+		return s, nil
 	}
-	return s, nil
+	return db.store, nil
 }
 
 // SaveFile persists the database: one repository file, or — for a
-// sharded database — the manifest at path plus one repository file per
-// shard next to it.
+// sharded or segmented database — the manifest at path plus one
+// repository file per shard/segment next to it.
 func (db *Database) SaveFile(path string) error {
 	if db.set != nil {
 		return db.set.Save(path)
+	}
+	if db.segs != nil {
+		return db.segs.Save(path)
 	}
 	return db.store.SaveFile(path)
 }
@@ -313,6 +449,9 @@ func (db *Database) Bytes() []byte {
 func (db *Database) Decompress() ([]byte, error) {
 	if db.set != nil {
 		return db.set.FuseXML()
+	}
+	if db.segs != nil {
+		return db.segs.FuseXML()
 	}
 	return db.store.Serialize(nil, 1)
 }
@@ -357,12 +496,12 @@ func EvalEngine() string {
 	return "tree"
 }
 
-// run is the single evaluation entry point behind Query, QueryContext,
-// QueryWith, Prepared.Run, Prepared.RunContext and Prepared.RunWith:
-// pick the evaluator, build the streaming cursor, and prime its first
-// item so errors that occur before any output — an expired deadline,
-// an unbound variable, a failing aggregate — surface here rather than
-// on the first Next. Each call gets its own evaluation state.
+// run is the single evaluation entry point behind Execute and every
+// legacy Query/Run wrapper: pick the evaluator, build the streaming
+// cursor, and prime its first item so errors that occur before any
+// output — an expired deadline, an unbound variable, a failing
+// aggregate — surface here rather than on the first Next. Each call
+// gets its own evaluation state.
 //
 // By default the compiled program's VM loop feeds the cursor directly;
 // XQUEC_EVAL=tree (or a query shape the compiler refused) falls back
@@ -371,9 +510,11 @@ func EvalEngine() string {
 // On a sharded database the scatter analyzer decides the path: provably
 // decomposable queries fan out across the shards (each worker runs its
 // own per-shard compiled program) and merge in global document order;
-// the rest run on the fused single-store view. Both paths return
-// byte-identical results to a single-repository database over the same
-// corpus.
+// the rest run on the fused single-store view. On a segmented database
+// the segment analyzer does the same per segment, merging streams
+// through the k-way rank heap with rank = segment index. All paths
+// return byte-identical results to a single-repository database over
+// the same corpus.
 func (p *Prepared) run(ctx context.Context, opts QueryOptions) (*Results, error) {
 	db := p.db
 	st := db.store
@@ -400,6 +541,39 @@ func (p *Prepared) run(ctx context.Context, opts QueryOptions) (*Results, error)
 			return nil, err
 		}
 	}
+	if db.segs != nil {
+		switch {
+		case db.segs.Segments() == 1:
+			// A single-segment set is just its base store; skip the merge
+			// machinery entirely.
+			st = db.segs.Stores[0]
+		default:
+			if dec := segment.Analyze(p.expr, db.segs); dec.Scatter {
+				var progFor func(*storage.Store) *vm.Program
+				if vm.Enabled() {
+					progFor = p.program
+				}
+				cur, err := segment.Eval(db.segs, p.expr, segment.EvalOptions{
+					Ctx:         ctx,
+					Parallelism: opts.Parallelism,
+					ProgramFor:  progFor,
+					Text:        p.text,
+				})
+				if err != nil {
+					return nil, tagErr(ErrEval, err)
+				}
+				if err := cur.Prime(); err != nil {
+					cur.Close()
+					return nil, tagErr(ErrEval, err)
+				}
+				return &Results{cur: cur}, nil
+			}
+			var err error
+			if st, err = db.fused(opts.Parallelism); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if vm.Enabled() {
 		if prog := p.program(st); prog != nil {
 			res, err := prog.Run(vm.RunOptions{Ctx: ctx, Parallelism: opts.Parallelism})
@@ -422,31 +596,45 @@ func (p *Prepared) run(ctx context.Context, opts QueryOptions) (*Results, error)
 	return &Results{res: res}, nil
 }
 
-// Query parses and evaluates an XQuery expression. Safe for concurrent
-// use: the per-query state (join-index caches, cursor position) is
-// private to the call. The returned Results is a pull cursor; consume
-// it with Next/WriteXML (or the legacy SerializeXML) and Close it.
-func (db *Database) Query(q string) (*Results, error) {
-	return db.QueryContext(context.Background(), q)
-}
-
-// QueryContext is Query with cancellation: the evaluation loop and the
-// result cursor both poll ctx, so a deadline or a client disconnect
-// aborts a long evaluation — or a long result iteration — with
-// ctx.Err() (context.DeadlineExceeded / Canceled).
-func (db *Database) QueryContext(ctx context.Context, q string) (*Results, error) {
-	return db.QueryWith(ctx, q, QueryOptions{})
-}
-
-// QueryWith is QueryContext with per-call evaluation options (worker
-// budget). Queries at different Parallelism settings return identical
-// results.
-func (db *Database) QueryWith(ctx context.Context, q string, opts QueryOptions) (*Results, error) {
+// Execute parses and evaluates an XQuery expression under ctx with
+// per-call options — the single query entry point (the legacy Query,
+// QueryContext and QueryWith are thin wrappers over it). Safe for
+// concurrent use: the per-query state (join-index caches, cursor
+// position) is private to the call. The returned Results is a pull
+// cursor; consume it with Next/WriteXML and Close it.
+//
+// The evaluation loop and the result cursor both poll ctx, so a
+// deadline or a client disconnect aborts a long evaluation — or a long
+// result iteration — with ctx.Err(). Queries at different Parallelism
+// settings return identical results; a zero QueryOptions is the
+// default evaluation.
+func (db *Database) Execute(ctx context.Context, q string, opts QueryOptions) (*Results, error) {
 	prep, err := db.Prepare(q)
 	if err != nil {
 		return nil, err
 	}
 	return prep.run(ctx, opts)
+}
+
+// Query evaluates q with background context and default options.
+//
+// Deprecated: use Execute.
+func (db *Database) Query(q string) (*Results, error) {
+	return db.Execute(context.Background(), q, QueryOptions{})
+}
+
+// QueryContext evaluates q under ctx with default options.
+//
+// Deprecated: use Execute.
+func (db *Database) QueryContext(ctx context.Context, q string) (*Results, error) {
+	return db.Execute(ctx, q, QueryOptions{})
+}
+
+// QueryWith evaluates q under ctx with opts.
+//
+// Deprecated: use Execute.
+func (db *Database) QueryWith(ctx context.Context, q string, opts QueryOptions) (*Results, error) {
+	return db.Execute(ctx, q, opts)
 }
 
 // Prepare parses — and, on the VM engine, compiles — a query once for
@@ -483,10 +671,14 @@ type Prepared struct {
 }
 
 // planStore is the store whose compiled program represents this query
-// for reporting (the store itself; shard 0 when sharded).
+// for reporting (the store itself; shard 0 when sharded; the base
+// segment when segmented).
 func (p *Prepared) planStore() *storage.Store {
 	if p.db.set != nil {
 		return p.db.set.Stores[0]
+	}
+	if p.db.segs != nil {
+		return p.db.segs.Stores[0]
 	}
 	return p.db.store
 }
@@ -551,20 +743,35 @@ func (p *Prepared) Disassemble() string {
 	return ""
 }
 
-// Run evaluates the prepared query.
-func (p *Prepared) Run() (*Results, error) {
-	return p.run(context.Background(), QueryOptions{})
-}
-
-// RunContext evaluates the prepared query under ctx (see QueryContext).
-func (p *Prepared) RunContext(ctx context.Context) (*Results, error) {
-	return p.run(ctx, QueryOptions{})
-}
-
-// RunWith evaluates the prepared query under ctx with per-call options
-// (see QueryWith).
-func (p *Prepared) RunWith(ctx context.Context, opts QueryOptions) (*Results, error) {
+// Execute evaluates the prepared query under ctx with per-call options
+// — the single prepared-statement entry point (the legacy Run,
+// RunContext and RunWith are thin wrappers over it). See
+// Database.Execute for the ctx and options semantics.
+func (p *Prepared) Execute(ctx context.Context, opts QueryOptions) (*Results, error) {
 	return p.run(ctx, opts)
+}
+
+// Run evaluates the prepared query with background context and default
+// options.
+//
+// Deprecated: use Execute.
+func (p *Prepared) Run() (*Results, error) {
+	return p.Execute(context.Background(), QueryOptions{})
+}
+
+// RunContext evaluates the prepared query under ctx with default
+// options.
+//
+// Deprecated: use Execute.
+func (p *Prepared) RunContext(ctx context.Context) (*Results, error) {
+	return p.Execute(ctx, QueryOptions{})
+}
+
+// RunWith evaluates the prepared query under ctx with per-call options.
+//
+// Deprecated: use Execute.
+func (p *Prepared) RunWith(ctx context.Context, opts QueryOptions) (*Results, error) {
+	return p.Execute(ctx, opts)
 }
 
 // Explain renders the evaluation strategy for a query without running
@@ -574,7 +781,7 @@ func (p *Prepared) RunWith(ctx context.Context, opts QueryOptions) (*Results, er
 // per-shard plan (shard repositories share one summary shape, so shard
 // 0's plan is every shard's plan).
 func (db *Database) Explain(q string) (string, error) {
-	if db.set == nil {
+	if db.set == nil && db.segs == nil {
 		return engine.New(db.store).Explain(q)
 	}
 	expr, err := xquery.Parse(q)
@@ -582,12 +789,28 @@ func (db *Database) Explain(q string) (string, error) {
 		return "", tagErr(ErrParse, err)
 	}
 	var head string
-	if dec := shard.Analyze(expr, db.set); dec.Scatter {
-		head = fmt.Sprintf("scatter across %d shards, merge by document order\n", db.set.Shards())
+	var st *storage.Store
+	if db.set != nil {
+		st = db.set.Stores[0]
+		if dec := shard.Analyze(expr, db.set); dec.Scatter {
+			head = fmt.Sprintf("scatter across %d shards, merge by document order\n", db.set.Shards())
+		} else {
+			head = fmt.Sprintf("no scatter (%s); evaluate on fused store\n", dec.Reason)
+		}
 	} else {
-		head = fmt.Sprintf("no scatter (%s); evaluate on fused store\n", dec.Reason)
+		st = db.segs.Stores[0]
+		switch {
+		case db.segs.Segments() == 1:
+			head = "single segment; evaluate directly\n"
+		default:
+			if dec := segment.Analyze(expr, db.segs); dec.Scatter {
+				head = fmt.Sprintf("scatter across %d segments, merge by segment order\n", db.segs.Segments())
+			} else {
+				head = fmt.Sprintf("no scatter (%s); evaluate on fused store\n", dec.Reason)
+			}
+		}
 	}
-	plan, err := engine.New(db.set.Stores[0]).Explain(q)
+	plan, err := engine.New(st).Explain(q)
 	if err != nil {
 		return "", err
 	}
@@ -609,6 +832,9 @@ func (db *Database) ExplainProgram(q string) (string, error) {
 	if db.set != nil {
 		st = db.set.Stores[0]
 	}
+	if db.segs != nil {
+		st = db.segs.Stores[0]
+	}
 	prog, err := vm.Compile(expr, st, q)
 	if err != nil {
 		return "", nil
@@ -616,9 +842,9 @@ func (db *Database) ExplainProgram(q string) (string, error) {
 	return prog.Disassemble(), nil
 }
 
-// MustQuery is Query for examples and tests; it panics on error.
+// MustQuery is Execute for examples and tests; it panics on error.
 func (db *Database) MustQuery(q string) *Results {
-	r, err := db.Query(q)
+	r, err := db.Execute(context.Background(), q, QueryOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -626,9 +852,10 @@ func (db *Database) MustQuery(q string) *Results {
 }
 
 // CompressionFactor is the paper's CF metric: 1 − compressed/original
-// for the serialized repository (summed over the shards when sharded).
+// for the serialized repository (summed over the shards/segments when
+// sharded or segmented).
 func (db *Database) CompressionFactor() float64 {
-	if db.set == nil {
+	if db.set == nil && db.segs == nil {
 		return db.store.CompressionFactor()
 	}
 	s := db.Stats()
@@ -638,15 +865,24 @@ func (db *Database) CompressionFactor() float64 {
 	return 1 - float64(s.CompressedBytes)/float64(s.OriginalBytes)
 }
 
-// Stats summarizes the database; for a sharded database the sizes and
-// counts aggregate over all shard repositories (spine duplication means
-// a shard set carries slightly more nodes than the single repository).
+// Stats summarizes the database; for a sharded or segmented database
+// the sizes and counts aggregate over all member repositories (spine
+// duplication means a shard set carries slightly more nodes than the
+// single repository; a segment set duplicates only the root element
+// per segment).
 func (db *Database) Stats() Stats {
-	if db.set == nil {
-		return storeStats(db.store, db.store.OriginalSize)
+	switch {
+	case db.set != nil:
+		return aggStats(db.set.Stores, db.set.Man.OriginalSize)
+	case db.segs != nil:
+		return aggStats(db.segs.Stores, db.segs.OriginalSize())
 	}
-	agg := Stats{OriginalBytes: db.set.Man.OriginalSize}
-	for _, st := range db.set.Stores {
+	return storeStats(db.store, db.store.OriginalSize)
+}
+
+func aggStats(stores []*storage.Store, original int) Stats {
+	agg := Stats{OriginalBytes: original}
+	for _, st := range stores {
 		s := storeStats(st, 0)
 		agg.CompressedBytes += s.CompressedBytes
 		agg.Nodes += s.Nodes
@@ -685,6 +921,9 @@ func (db *Database) IngestStats() storage.BuildStats {
 	if db.set != nil {
 		return db.set.Stores[0].Build
 	}
+	if db.segs != nil {
+		return db.segs.Stores[0].Build
+	}
 	return db.store.Build
 }
 
@@ -715,19 +954,30 @@ type ContainerInfo struct {
 	Group     string
 	Records   int
 	Bytes     int // compressed payload
-	Shard     int // owning shard (0 for single-repository databases)
+	Shard     int // owning shard (0 for unsharded databases)
+	Segment   int // owning segment (0 for unsegmented databases)
 }
 
-// Containers lists the database's value containers. For a sharded
-// database the listing concatenates every shard's containers (Shard
-// identifies the owner; the same path appears once per shard holding
-// values for it).
+// Containers lists the database's value containers. For a sharded or
+// segmented database the listing concatenates every member's
+// containers (Shard/Segment identifies the owner; the same path
+// appears once per member holding values for it).
 func (db *Database) Containers() []ContainerInfo {
 	if db.set != nil {
 		var out []ContainerInfo
 		for si, st := range db.set.Stores {
 			for _, ci := range storeContainers(st) {
 				ci.Shard = si
+				out = append(out, ci)
+			}
+		}
+		return out
+	}
+	if db.segs != nil {
+		var out []ContainerInfo
+		for si, st := range db.segs.Stores {
+			for _, ci := range storeContainers(st) {
+				ci.Segment = si
 				out = append(out, ci)
 			}
 		}
