@@ -3,12 +3,18 @@
 
 GO ?= go
 
-.PHONY: check build test race vet apicheck bench-serve bench bench-query bench-par bench-shard bench-codec bench-vm bench-append bench-paper fuzz-smoke
+.PHONY: check build test race vet vet-unsafeptr apicheck bench-serve bench bench-query bench-par bench-shard bench-codec bench-vm bench-append bench-succinct bench-succinct-smoke bench-paper fuzz-smoke
 
-check: vet apicheck build race bench ## tier-1: vet + deprecated-API gate + build + race-clean tests + bench smoke
+check: vet vet-unsafeptr apicheck build race bench bench-succinct-smoke ## tier-1: vet + deprecated-API gate + build + race-clean tests + bench smoke
 
 vet:
 	$(GO) vet ./...
+
+# The succinct bitvector kernels index raw word slices; keep the
+# unsafe-pointer analyzer explicitly on so any future unsafe use in the
+# hot paths is vetted.
+vet-unsafeptr:
+	$(GO) vet -unsafeptr ./...
 
 # Deprecated-API gate: commands, examples and internal packages must use
 # the consolidated entry points (Compress with Options.Shards, Execute)
@@ -36,7 +42,7 @@ bench-serve:
 # Ingestion + decode + serving benchmarks with allocation counts; each
 # run appends one JSON record to BENCH_ingest.json for cross-commit
 # comparison.
-bench: bench-query bench-par bench-shard bench-codec bench-vm bench-append
+bench: bench-query bench-par bench-shard bench-codec bench-vm bench-append bench-succinct
 	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	($(GO) test -run '^$$' -bench 'BenchmarkCompressXMark|BenchmarkDecodeScratch' -benchmem . && \
 	 $(GO) test -run '^$$' -bench BenchmarkServerQuery -benchmem ./internal/server/) \
@@ -87,6 +93,21 @@ bench-append:
 	$(GO) test -run '^$$' -bench 'BenchmarkAppend(Ingest|Query)' -benchmem . \
 	| /tmp/benchjson -o BENCH_append.json -label append-segments
 
+# Succinct-structure benchmarks: structure density (bits per tree
+# node) and resident bytes per backend, Descendants/Parent operator
+# throughput, and end-to-end query latency, each run on both the
+# record-array oracle and the balanced-parentheses self-index. Appends
+# to BENCH_succinct.json.
+bench-succinct:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkSuccinct' -benchmem . \
+	| /tmp/benchjson -o BENCH_succinct.json -label succinct-structure
+
+# One-iteration smoke of the succinct bench harness for `make check`:
+# proves the benchmarks still compile and run, without recording JSON.
+bench-succinct-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSuccinct' -benchtime 1x . >/dev/null
+
 # Compiled-plan engine benchmarks: the same streaming/predicate
 # workloads on the stack VM vs the tree-walking oracle (per-item
 # dispatch cost, first-item latency, allocs). Appends to BENCH_vm.json;
@@ -108,6 +129,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzALMOrder -fuzztime 5s ./internal/compress/alm/
 	$(GO) test -run '^$$' -fuzz FuzzALMDecodeGarbage -fuzztime 5s ./internal/compress/alm/
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 5s ./internal/vm/
+	$(GO) test -run '^$$' -fuzz FuzzBitvectorRankSelect -fuzztime 5s ./internal/succinct/
+	$(GO) test -run '^$$' -fuzz FuzzBPNavigation -fuzztime 5s ./internal/succinct/
 
 # Full paper benchmark suite (scaled-down in-test versions).
 bench-paper:

@@ -335,6 +335,9 @@ func cmdStats(args []string) error {
 		return err
 	}
 	fmt.Println(db.Stats())
+	f := db.Footprint()
+	fmt.Printf("resident: %d bytes (structure=%s, access overhead %.2fx)\n",
+		f.Total(), db.StructureKind(), f.AccessOverheadFactor())
 	if db.Sharded() {
 		fmt.Printf("shards: %d\n", db.Shards())
 	}

@@ -165,19 +165,17 @@ func Child(s *storage.Store, in NodeSet, tag string) NodeSet {
 		code = c
 	}
 	for _, id := range in {
-		n := s.Node(id)
-		for _, k := range n.Kids {
-			if k.IsValue() {
+		for k := range s.Kids(id) {
+			if k.ID == 0 {
 				continue
 			}
-			kid := k.Node()
-			if restrict && s.Node(kid).Tag != code {
+			if restrict && s.TagCodeOf(k.ID) != code {
 				continue
 			}
-			if !restrict && s.IsAttr(kid) {
+			if !restrict && s.IsAttr(k.ID) {
 				continue
 			}
-			out = append(out, kid)
+			out = append(out, k.ID)
 		}
 	}
 	// Children of distinct doc-ordered parents are doc-ordered, but a
@@ -190,8 +188,18 @@ func Child(s *storage.Store, in NodeSet, tag string) NodeSet {
 // nodes, in document order.
 func Parent(s *storage.Store, in NodeSet) NodeSet {
 	ids := make([]storage.NodeID, 0, len(in))
+	// Document order means sibling runs share a parent: a node one level
+	// below the last parent and inside its subtree needs no navigation.
+	var lastPar, lastEnd storage.NodeID
+	var lastLvl uint16
 	for _, id := range in {
-		if p := s.Parent(id); p != 0 {
+		var p storage.NodeID
+		if lastPar != 0 && id > lastPar && id <= lastEnd && s.LevelOf(id) == lastLvl+1 {
+			p = lastPar
+		} else if p = s.Parent(id); p != 0 {
+			lastPar, lastEnd, lastLvl = p, s.SubtreeEnd(p), s.LevelOf(p)
+		}
+		if p != 0 {
 			ids = append(ids, p)
 		}
 	}

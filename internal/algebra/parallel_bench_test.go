@@ -8,25 +8,22 @@ import (
 	"xquec/internal/storage"
 )
 
-// syntheticStore builds a Store with only the structural arrays filled:
-// a forest of n-node subtrees of random depth, which is all the
+// syntheticStore builds a Store with only the structure tree filled: a
+// forest of n-node subtrees of random depth, which is all the
 // structural-join operators consult (SubtreeEnd / NumNodes).
 func syntheticStore(n int) *storage.Store {
 	rng := rand.New(rand.NewSource(42))
-	s := &storage.Store{
-		Nodes: make([]storage.NodeRecord, n),
-		End:   make([]storage.NodeID, n),
-	}
+	end := make([]storage.NodeID, n)
 	// Assign subtree ends with a stack walk: each node either opens a
 	// child (with probability p) or closes back toward the root.
 	var stack []int
 	for i := 0; i < n; i++ {
-		s.End[i] = storage.NodeID(i + 1) // leaf until extended
+		end[i] = storage.NodeID(i + 1) // leaf until extended
 		for len(stack) > 0 && rng.Float64() < 0.35 {
 			stack = stack[:len(stack)-1]
 		}
 		for _, a := range stack {
-			s.End[a] = storage.NodeID(i + 1)
+			end[a] = storage.NodeID(i + 1)
 		}
 		if rng.Float64() < 0.7 && len(stack) < 12 {
 			stack = append(stack, i)
@@ -34,7 +31,7 @@ func syntheticStore(n int) *storage.Store {
 			stack = stack[:0]
 		}
 	}
-	return s
+	return storage.NewSyntheticStructure(end)
 }
 
 func everyKth(n, k int) NodeSet {

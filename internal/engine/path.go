@@ -85,7 +85,7 @@ func (e *Engine) evalPathNodesPre(p *xquery.PathExpr, env *scope, pre [][]*stora
 			// Restrict to nodes that actually have immediate text.
 			var withText algebra.NodeSet
 			for _, id := range st.nodes {
-				if len(e.store.Node(id).Values) > 0 {
+				if e.store.HasText(id) {
 					withText = append(withText, id)
 				}
 			}
@@ -341,13 +341,9 @@ func childrenWithin(s *storage.Store, parents algebra.NodeSet, targets []*storag
 		}
 		var out []storage.NodeID
 		for _, p := range parents {
-			for _, k := range s.Node(p).Kids {
-				if k.IsValue() {
-					continue
-				}
-				kid := k.Node()
-				if tagSet[s.Node(kid).Tag] {
-					out = append(out, kid)
+			for k := range s.Kids(p) {
+				if k.ID != 0 && tagSet[s.TagCodeOf(k.ID)] {
+					out = append(out, k.ID)
 				}
 			}
 		}
@@ -379,19 +375,17 @@ func (e *Engine) childList(parent storage.NodeID, step xquery.Step, targets []*s
 		name = "@" + step.Name
 	}
 	var out algebra.NodeSet
-	n := e.store.Node(parent)
-	for _, k := range n.Kids {
-		if k.IsValue() {
+	for k := range e.store.Kids(parent) {
+		if k.ID == 0 {
 			continue
 		}
-		kid := k.Node()
-		tag := e.store.TagOf(kid)
+		tag := e.store.TagOf(k.ID)
 		if name == "*" {
 			if !strings.HasPrefix(tag, "@") {
-				out = append(out, kid)
+				out = append(out, k.ID)
 			}
 		} else if tag == name {
-			out = append(out, kid)
+			out = append(out, k.ID)
 		}
 	}
 	return out

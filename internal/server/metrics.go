@@ -69,6 +69,10 @@ type Metrics struct {
 	// construction, before any traffic).
 	segments func() map[string]int64
 
+	// resident, when set, snapshots the in-memory bytes of every
+	// pool-resident repository (set once at server construction).
+	resident func() map[string]int64
+
 	// Compaction wall-clock duration, observed once per completed
 	// compaction (synchronous or background).
 	compCount atomic.Int64
@@ -190,6 +194,10 @@ type Snapshot struct {
 	CompactionMeanMs   float64          `json:"compaction_mean_ms"`
 	RepoSegments       map[string]int64 `json:"repo_segments,omitempty"`
 
+	// Per-repository in-memory size of every pool-resident repository
+	// (the xquecd_repo_resident_bytes gauge).
+	RepoResidentBytes map[string]int64 `json:"repo_resident_bytes,omitempty"`
+
 	// ValueDecodes counts individual container-value decompressions
 	// (process-wide): with pull-based results it advances only for items
 	// consumers actually read.
@@ -271,6 +279,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m.segments != nil {
 		if counts := m.segments(); len(counts) > 0 {
 			s.RepoSegments = counts
+		}
+	}
+	if m.resident != nil {
+		if sizes := m.resident(); len(sizes) > 0 {
+			s.RepoResidentBytes = sizes
 		}
 	}
 	s.ValueDecodes = storage.DecodeOps()
@@ -356,6 +369,20 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "# TYPE xquecd_repo_segments gauge\n")
 			for _, name := range names {
 				fmt.Fprintf(w, "xquecd_repo_segments{repo=%q} %d\n", name, counts[name])
+			}
+		}
+	}
+	if m.resident != nil {
+		if sizes := m.resident(); len(sizes) > 0 {
+			names := make([]string, 0, len(sizes))
+			for name := range sizes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(w, "# HELP xquecd_repo_resident_bytes In-memory bytes per pool-resident repository.\n")
+			fmt.Fprintf(w, "# TYPE xquecd_repo_resident_bytes gauge\n")
+			for _, name := range names {
+				fmt.Fprintf(w, "xquecd_repo_resident_bytes{repo=%q} %d\n", name, sizes[name])
 			}
 		}
 	}

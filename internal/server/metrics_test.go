@@ -41,6 +41,28 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 	}
 }
 
+func TestMetricsResidentBytesGauge(t *testing.T) {
+	m := &Metrics{}
+	m.resident = func() map[string]int64 {
+		return map[string]int64{"orders": 123456, "site": 777}
+	}
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE xquecd_repo_resident_bytes gauge",
+		`xquecd_repo_resident_bytes{repo="orders"} 123456`,
+		`xquecd_repo_resident_bytes{repo="site"} 777`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if s := m.Snapshot(); s.RepoResidentBytes["orders"] != 123456 {
+		t.Fatalf("snapshot resident bytes = %v", s.RepoResidentBytes)
+	}
+}
+
 func TestMetricsHistogramCumulative(t *testing.T) {
 	m := &Metrics{}
 	for i := 0; i < 10; i++ {

@@ -167,6 +167,31 @@ func (p *Pool) Resident() []string {
 	return out
 }
 
+// ResidentBytes snapshots the in-memory size of every repository whose
+// load has completed, by name. Loads still in flight are skipped so a
+// metrics scrape never blocks on repository I/O; footprints are
+// computed outside the pool lock.
+func (p *Pool) ResidentBytes() map[string]int64 {
+	p.mu.Lock()
+	ready := make([]*poolEntry, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*poolEntry)
+		select {
+		case <-e.ready:
+			if e.err == nil && e.db != nil {
+				ready = append(ready, e)
+			}
+		default:
+		}
+	}
+	p.mu.Unlock()
+	out := make(map[string]int64, len(ready))
+	for _, e := range ready {
+		out[e.name] = int64(e.db.ResidentBytes())
+	}
+	return out
+}
+
 // Available lists the repository names present in the pool's directory
 // — .xqc repositories, .xqcs shard-set manifests and .xqcg segment-set
 // manifests (per-shard *.shard-NNN.xqc and per-segment *.seg-NNNNNN.xqc

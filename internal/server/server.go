@@ -144,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 		compacting: map[string]bool{},
 	}
 	s.metrics.segments = s.segmentCounts
+	s.metrics.resident = s.pool.ResidentBytes
 	return s, nil
 }
 

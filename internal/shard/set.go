@@ -134,16 +134,12 @@ func newSet(man *Manifest, stores []*storage.Store) (*Set, error) {
 // in document order.
 func subtreeTable(st *storage.Store, level int) []span {
 	var out []span
-	for i, lvl := range st.Level {
-		if int(lvl) != level {
-			continue
+	st.ScanNodes(func(id storage.NodeID, lvl uint16) {
+		if int(lvl) != level || st.IsAttr(id) {
+			return
 		}
-		id := storage.NodeID(i + 1)
-		if st.IsAttr(id) {
-			continue
-		}
-		out = append(out, span{start: id, end: st.End[i]})
-	}
+		out = append(out, span{start: id, end: st.SubtreeEnd(id)})
+	})
 	return out
 }
 
@@ -233,13 +229,12 @@ func (s *Set) FuseXML() ([]byte, error) {
 	for si, st := range s.Stores {
 		idx := map[storage.NodeID]int{}
 		n := 0
-		for i, lvl := range st.Level {
-			id := storage.NodeID(i + 1)
+		st.ScanNodes(func(id storage.NodeID, lvl uint16) {
 			if int(lvl) < level && !st.IsAttr(id) {
 				idx[id] = n
 				n++
 			}
-		}
+		})
 		spineIdx[si] = idx
 	}
 
@@ -275,42 +270,36 @@ func (s *Set) FuseXML() ([]byte, error) {
 	var dst []byte
 	var emit func(id storage.NodeID) error
 	emit = func(id storage.NodeID) error {
-		n := s0.Node(id)
 		tag := s0.TagOf(id)
 		dst = append(dst, '<')
 		dst = append(dst, tag...)
-		for _, k := range n.Kids {
-			if k.IsValue() {
-				continue
-			}
-			if kid := k.Node(); s0.IsAttr(kid) {
+		for k := range s0.Kids(id) {
+			if k.ID != 0 && s0.IsAttr(k.ID) {
 				dst = append(dst, ' ')
 				var err error
-				dst, err = s0.SerializeScratch(sc, dst, kid)
+				dst, err = s0.SerializeScratch(sc, dst, k.ID)
 				if err != nil {
 					return err
 				}
 			}
 		}
 		dst = append(dst, '>')
-		for _, k := range n.Kids {
-			if k.IsValue() {
-				vr := n.Values[k.ValueIndex()]
-				v, err := s0.Container(vr.Container).DecodeScratch(sc, int(vr.Index))
+		for k := range s0.Kids(id) {
+			if k.ID == 0 {
+				v, err := s0.Container(k.Val.Container).DecodeScratch(sc, int(k.Val.Index))
 				if err != nil {
 					return err
 				}
 				dst = xmlparser.EscapeText(dst, string(v))
 				continue
 			}
-			kid := k.Node()
-			if s0.IsAttr(kid) || int(s0.Level[kid-1]) >= level {
+			if s0.IsAttr(k.ID) || int(s0.LevelOf(k.ID)) >= level {
 				// Attributes were emitted with the tag; level-P kids are
 				// shard 0's own partitioned subtrees and come back via
 				// the merged rank order below.
 				continue
 			}
-			if err := emit(kid); err != nil {
+			if err := emit(k.ID); err != nil {
 				return err
 			}
 		}

@@ -12,9 +12,10 @@ import "fmt"
 // to measure the trade-off.)
 type Footprint struct {
 	Dictionary     int // name dictionary
-	StructureTree  int // tag codes + child lists + value refs
-	ParentPointers int // backward edges + subtree ends + levels
-	BPlusIndex     int // B+ tree over node records
+	StructureBP    int // succinct backend: paren bits + rank/select directories + rmM tree + node marks
+	StructureTree  int // records: tag codes + child lists + value refs; succinct: tags + value refs
+	ParentPointers int // records backend: backward edges + subtree ends + levels
+	BPlusIndex     int // B+ tree over node records (records backend)
 	Summary        int // structure summary including extents
 	Containers     int // compressed value payloads + owner pointers
 	SourceModels   int // compression source models
@@ -22,14 +23,32 @@ type Footprint struct {
 
 // Total is the full repository size (all access structures included).
 func (f Footprint) Total() int {
-	return f.Dictionary + f.StructureTree + f.ParentPointers + f.BPlusIndex +
-		f.Summary + f.Containers + f.SourceModels
+	return f.Dictionary + f.StructureBP + f.StructureTree + f.ParentPointers +
+		f.BPlusIndex + f.Summary + f.Containers + f.SourceModels
 }
 
 // Minimal is the size without the access-support structures (no parent
-// pointers, no B+ index, no summary) — the §2.2 ablation.
+// pointers, no B+ index, no summary) — the §2.2 ablation. The succinct
+// backend's BP bits count as structure, not access support: they ARE
+// the tree, and navigation falls out of them for free.
 func (f Footprint) Minimal() int {
-	return f.Dictionary + f.StructureTree + f.Containers + f.SourceModels
+	return f.Dictionary + f.StructureBP + f.StructureTree + f.Containers + f.SourceModels
+}
+
+// Add returns the component-wise sum — the aggregation used for a
+// repository made of several physical stores (base store plus segment
+// sets), so AccessOverheadFactor reflects the whole repository rather
+// than just the base store.
+func (f Footprint) Add(g Footprint) Footprint {
+	f.Dictionary += g.Dictionary
+	f.StructureBP += g.StructureBP
+	f.StructureTree += g.StructureTree
+	f.ParentPointers += g.ParentPointers
+	f.BPlusIndex += g.BPlusIndex
+	f.Summary += g.Summary
+	f.Containers += g.Containers
+	f.SourceModels += g.SourceModels
+	return f
 }
 
 // AccessOverheadFactor returns Total / Minimal.
@@ -42,19 +61,25 @@ func (f Footprint) AccessOverheadFactor() float64 {
 }
 
 func (f Footprint) String() string {
-	return fmt.Sprintf("dict=%d tree=%d parents=%d b+=%d summary=%d containers=%d models=%d total=%d",
-		f.Dictionary, f.StructureTree, f.ParentPointers, f.BPlusIndex,
+	return fmt.Sprintf("dict=%d bp=%d tree=%d parents=%d b+=%d summary=%d containers=%d models=%d total=%d",
+		f.Dictionary, f.StructureBP, f.StructureTree, f.ParentPointers, f.BPlusIndex,
 		f.Summary, f.Containers, f.SourceModels, f.Total())
 }
 
-// Footprint measures the repository's in-memory component sizes.
+// Footprint measures the repository's in-memory component sizes, for
+// whichever structure backend is resident.
 func (s *Store) Footprint() Footprint {
 	var f Footprint
 	for _, n := range s.Names {
 		f.Dictionary += len(n) + 16
 	}
-	for i := range s.Nodes {
-		n := &s.Nodes[i]
+	if s.succ != nil {
+		bp, marks, refs := s.succ.footprintBytes()
+		f.StructureBP = bp + marks
+		f.StructureTree = refs
+	}
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		f.StructureTree += 2 + 4*len(n.Kids) + 8*len(n.Values)
 		f.ParentPointers += 4 + 4 + 2 // parent + subtree end + level
 	}

@@ -34,6 +34,11 @@ type LoadOptions struct {
 	// Names encountered during the parse that are already pre-seeded keep
 	// their seeded code; new names append after the seed.
 	Dictionary []string
+	// Structure selects the structure-tree backend. StructDefault means
+	// succinct unless the XQUEC_STRUCT environment variable says
+	// "records". The choice affects memory and latency, never results or
+	// persisted bytes.
+	Structure StructureKind
 }
 
 // Load parses an XML document and builds the compressed repository.
@@ -80,10 +85,10 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 	fanTotal := map[int32]int{}
 
 	newNode := func(tag string, parent NodeID, lvl uint16) NodeID {
-		s.Nodes = append(s.Nodes, NodeRecord{Tag: s.intern(tag), Parent: parent})
-		s.End = append(s.End, NodeID(len(s.Nodes)))
-		s.Level = append(s.Level, lvl)
-		return NodeID(len(s.Nodes))
+		s.nodes = append(s.nodes, NodeRecord{Tag: s.intern(tag), Parent: parent})
+		s.end = append(s.end, NodeID(len(s.nodes)))
+		s.level = append(s.level, lvl)
+		return NodeID(len(s.nodes))
 	}
 
 	phase := time.Now()
@@ -99,12 +104,12 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 			sn := sum.child(parent.sn, ev.Name, true)
 			sn.Extent = append(sn.Extent, id)
 			if parent.id != 0 {
-				s.Nodes[parent.id-1].Kids = append(s.Nodes[parent.id-1].Kids, NodeChild(id))
+				s.nodes[parent.id-1].Kids = append(s.nodes[parent.id-1].Kids, NodeChild(id))
 				fanTotal[parent.sn.ID]++
 			}
 			for _, a := range ev.Attrs {
 				aid := newNode("@"+a.Name, id, parent.lvl+2)
-				s.Nodes[id-1].Kids = append(s.Nodes[id-1].Kids, NodeChild(aid))
+				s.nodes[id-1].Kids = append(s.nodes[id-1].Kids, NodeChild(aid))
 				asn := sum.child(sn, "@"+a.Name, true)
 				asn.Extent = append(asn.Extent, aid)
 				vl := valueListFor(asn)
@@ -112,14 +117,14 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 				vl.owners = append(vl.owners, aid)
 				// Placeholder ref: Container = summary ID, Index =
 				// document position; fixed up after containers build.
-				s.Nodes[aid-1].Values = append(s.Nodes[aid-1].Values,
+				s.nodes[aid-1].Values = append(s.nodes[aid-1].Values,
 					ValueRef{Container: asn.ID, Index: int32(len(vl.plains) - 1)})
-				s.Nodes[aid-1].Kids = append(s.Nodes[aid-1].Kids, ValueChild(0))
+				s.nodes[aid-1].Kids = append(s.nodes[aid-1].Kids, ValueChild(0))
 			}
 			stack = append(stack, frame{id: id, sn: sn, lvl: parent.lvl + 1})
 		case xmlparser.EventEndElement:
 			top := stack[len(stack)-1]
-			s.End[top.id-1] = NodeID(len(s.Nodes))
+			s.end[top.id-1] = NodeID(len(s.nodes))
 			stack = stack[:len(stack)-1]
 		case xmlparser.EventText:
 			top := stack[len(stack)-1]
@@ -127,7 +132,7 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 			vl := valueListFor(tsn)
 			vl.plains = append(vl.plains, []byte(ev.Text))
 			vl.owners = append(vl.owners, top.id)
-			owner := &s.Nodes[top.id-1]
+			owner := &s.nodes[top.id-1]
 			owner.Kids = append(owner.Kids, ValueChild(len(owner.Values)))
 			owner.Values = append(owner.Values,
 				ValueRef{Container: tsn.ID, Index: int32(len(vl.plains) - 1)})
@@ -137,7 +142,7 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(s.Nodes) == 0 {
+	if len(s.nodes) == 0 {
 		return nil, fmt.Errorf("storage: document has no elements")
 	}
 	s.Build.Parse = time.Since(phase)
@@ -147,14 +152,22 @@ func Load(src []byte, opts LoadOptions) (*Store, error) {
 	}
 
 	phase = time.Now()
-	// Redundant B+ index over node IDs.
-	keys := make([]uint64, len(s.Nodes))
-	vals := make([]int64, len(s.Nodes))
-	for i := range keys {
-		keys[i] = uint64(i + 1)
-		vals[i] = int64(i)
+	if resolveStructure(opts.Structure) == StructSuccinct {
+		// Swap the record arrays for the BP self-index. The succinct
+		// backend also skips the redundant B+ index: with dense pre-order
+		// IDs it is never consulted, and it would defeat the memory goal.
+		s.succ = recordsToArrays(s).build()
+		s.nodes, s.end, s.level = nil, nil, nil
+	} else {
+		// Redundant B+ index over node IDs.
+		keys := make([]uint64, len(s.nodes))
+		vals := make([]int64, len(s.nodes))
+		for i := range keys {
+			keys[i] = uint64(i + 1)
+			vals[i] = int64(i)
+		}
+		s.Index = btree.BulkLoad(keys, vals)
 	}
-	s.Index = btree.BulkLoad(keys, vals)
 
 	// Statistics.
 	for _, sn := range sum.Nodes() {
@@ -357,8 +370,8 @@ func (s *Store) buildContainers(sum *Summary, values map[int32]*valueList0, plan
 	}
 
 	// Fix up the placeholder value refs.
-	for i := range s.Nodes {
-		n := &s.Nodes[i]
+	for i := range s.nodes {
+		n := &s.nodes[i]
 		for vi := range n.Values {
 			sumID := n.Values[vi].Container
 			n.Values[vi] = ValueRef{

@@ -13,8 +13,13 @@ import (
 	"xquec/internal/compress/blob"
 )
 
-// magic identifies the repository file format.
-var magic = []byte("XQCR2\n")
+// Repository file magics. Version 3 replaced the per-node record
+// stream of the structure section with the succinct encoding (paren
+// bits + node marks); version-2 files still load — see LoadBinary.
+var (
+	magic   = []byte("XQCR3\n")
+	magicV2 = []byte("XQCR2\n")
+)
 
 // AppendBinary serializes the repository. Everything derivable is
 // rebuilt by LoadBinary instead of being stored: parent pointers,
@@ -23,10 +28,50 @@ var magic = []byte("XQCR2\n")
 // determined by the owning node's path). What remains on disk is the
 // dictionary, the source models, the compressed container payloads, the
 // structure tree's shape, and the sorted-record indexes of the values.
+// The bytes are identical whichever structure backend is resident.
 func (s *Store) AppendBinary(dst []byte) []byte {
 	dst = append(dst, magic...)
 	dst = compress.AppendUvarint(dst, uint64(s.OriginalSize))
+	dst = s.appendDictModelsContainers(dst)
 
+	// Structure tree: the succinct section. Paren bits and node marks
+	// carry the full shape including text interleaving; tags are listed
+	// per node in pre-order, and each text leaf carries only its record
+	// index in the (path-implied) container. The stream is highly
+	// repetitive, so — like XMill's structure stream — it is stored
+	// blob-compressed.
+	a := s.structureArrays()
+	var tree []byte
+	tree = compress.AppendUvarint(tree, uint64(a.nParens))
+	tree = compress.AppendUvarint(tree, uint64(a.nOpens))
+	tree = compress.AppendUvarint(tree, uint64(len(a.valIdx)))
+	tree = appendPackedBits(tree, a.parens, a.nParens)
+	tree = appendPackedBits(tree, a.marks, a.nOpens)
+	for _, t := range a.tags {
+		tree = compress.AppendUvarint(tree, uint64(t))
+	}
+	for _, vi := range a.valIdx {
+		tree = compress.AppendUvarint(tree, uint64(vi))
+	}
+	dst = compress.AppendBytes(dst, blob.Compress(nil, tree))
+	// Whole-file checksum: cheap end-to-end corruption detection for the
+	// value payloads, which no structural validation can cover.
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst))
+}
+
+// structureArrays returns the succinct encoding of the structure tree,
+// converting transiently when the record backend is resident.
+func (s *Store) structureArrays() *succinctArrays {
+	if s.succ != nil {
+		return s.succ.arrays()
+	}
+	return recordsToArrays(s)
+}
+
+// appendDictModelsContainers writes the format sections shared by both
+// file versions: the dictionary, the source models, and the container
+// payloads.
+func (s *Store) appendDictModelsContainers(dst []byte) []byte {
 	// Dictionary.
 	dst = compress.AppendUvarint(dst, uint64(len(s.Names)))
 	for _, n := range s.Names {
@@ -60,17 +105,25 @@ func (s *Store) AppendBinary(dst []byte) []byte {
 			dst = compress.AppendBytes(dst, r.Value)
 		}
 	}
+	return dst
+}
 
-	// Structure tree shape: tags and document-order child lists. Child
-	// node IDs are delta-encoded against the node's own pre-order ID;
-	// value children carry only their record index in the (path-implied)
-	// container. The stream is highly repetitive, so — like XMill's
-	// structure stream — it is stored blob-compressed.
+// appendBinaryV2 writes the version-2 (record-stream) format: tags and
+// document-order child lists, child IDs delta-encoded against the
+// node's own pre-order ID. Kept so the V2 read path stays covered by
+// tests; new repositories always write the current format.
+func (s *Store) appendBinaryV2(dst []byte) []byte {
+	if s.nodes == nil {
+		panic("storage: appendBinaryV2 needs the record backend")
+	}
+	dst = append(dst, magicV2...)
+	dst = compress.AppendUvarint(dst, uint64(s.OriginalSize))
+	dst = s.appendDictModelsContainers(dst)
 	var tree []byte
-	tree = compress.AppendUvarint(tree, uint64(len(s.Nodes)))
-	for i := range s.Nodes {
+	tree = compress.AppendUvarint(tree, uint64(len(s.nodes)))
+	for i := range s.nodes {
 		id := NodeID(i + 1)
-		n := &s.Nodes[i]
+		n := &s.nodes[i]
 		tree = compress.AppendUvarint(tree, uint64(n.Tag))
 		tree = compress.AppendUvarint(tree, uint64(len(n.Kids)))
 		for _, k := range n.Kids {
@@ -83,9 +136,17 @@ func (s *Store) AppendBinary(dst []byte) []byte {
 		}
 	}
 	dst = compress.AppendBytes(dst, blob.Compress(nil, tree))
-	// Whole-file checksum: cheap end-to-end corruption detection for the
-	// value payloads, which no structural validation can cover.
 	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst))
+}
+
+// appendPackedBits appends ceil(nBits/8) bytes of the packed bit words
+// (bit i of the sequence = bit i%8 of byte i/8).
+func appendPackedBits(dst []byte, words []uint64, nBits int) []byte {
+	nBytes := (nBits + 7) / 8
+	for i := 0; i < nBytes; i++ {
+		dst = append(dst, byte(words[i>>3]>>(8*(uint(i)&7))))
+	}
+	return dst
 }
 
 // reader is a cursor over serialized repository bytes.
@@ -121,9 +182,15 @@ func (r *reader) byte() (byte, error) {
 	return b, nil
 }
 
-// LoadBinary reconstructs a repository serialized by AppendBinary.
+// LoadBinary reconstructs a repository serialized by AppendBinary. It
+// reads both the current format and version-2 (record-stream) files;
+// either loads into whichever structure backend XQUEC_STRUCT selects.
 func LoadBinary(data []byte) (*Store, error) {
-	if len(data) < len(magic)+4 || !bytes.Equal(data[:len(magic)], magic) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("storage: not a repository file (bad magic)")
+	}
+	v3 := bytes.Equal(data[:len(magic)], magic)
+	if !v3 && !bytes.Equal(data[:len(magicV2)], magicV2) {
 		return nil, fmt.Errorf("storage: not a repository file (bad magic)")
 	}
 	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
@@ -248,62 +315,42 @@ func LoadBinary(data []byte) (*Store, error) {
 		return nil, fmt.Errorf("storage: corrupt structure section: %w", err)
 	}
 	r = &reader{data: treeRaw}
-	nNodes, err := r.uvarint()
+	mode := resolveStructure(StructDefault)
+	if v3 {
+		err = s.loadTreeV3(r)
+	} else {
+		err = s.loadTreeV2(r)
+	}
 	if err != nil {
 		return nil, err
-	}
-	if nNodes == 0 || nNodes > uint64(len(treeRaw)) {
-		return nil, fmt.Errorf("storage: implausible node count %d", nNodes)
-	}
-	s.Nodes = make([]NodeRecord, nNodes)
-	s.End = make([]NodeID, nNodes)
-	s.Level = make([]uint16, nNodes)
-	for i := uint64(0); i < nNodes; i++ {
-		id := NodeID(i + 1)
-		tag, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if tag >= uint64(len(s.Names)) {
-			return nil, fmt.Errorf("storage: node %d has unknown tag %d", id, tag)
-		}
-		nKids, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if nKids > nNodes+uint64(len(treeRaw)) {
-			return nil, fmt.Errorf("storage: node %d kid count %d implausible", id, nKids)
-		}
-		n := &s.Nodes[i]
-		n.Tag = uint16(tag)
-		for k := uint64(0); k < nKids; k++ {
-			v, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if v&1 == 1 {
-				recIdx, err := r.uvarint()
-				if err != nil {
-					return nil, err
-				}
-				n.Kids = append(n.Kids, ValueChild(len(n.Values)))
-				// Container resolved during the reconstruction walk.
-				n.Values = append(n.Values, ValueRef{Container: -1, Index: int32(recIdx)})
-			} else {
-				kid := id + NodeID(v>>1)
-				if uint64(kid) > nNodes || kid <= id {
-					return nil, fmt.Errorf("storage: node %d has bad child %d", id, kid)
-				}
-				n.Kids = append(n.Kids, NodeChild(kid))
-			}
-		}
 	}
 	if r.pos != len(treeRaw) {
 		return nil, fmt.Errorf("storage: %d trailing bytes in structure section", len(treeRaw)-r.pos)
 	}
 
-	if err := s.reconstructDerived(); err != nil {
-		return nil, err
+	// Rebuild the derived state on the backend the file loaded into,
+	// then convert to the resident backend the mode asks for.
+	if v3 {
+		if err := s.deriveFromSuccinct(); err != nil {
+			return nil, err
+		}
+		if mode == StructRecords {
+			nodes, end, level, err := succinctToRecords(s.succ)
+			if err != nil {
+				return nil, err
+			}
+			s.nodes, s.end, s.level = nodes, end, level
+			s.succ = nil
+			s.buildNodeIndex()
+		}
+	} else {
+		if err := s.reconstructDerived(mode == StructRecords); err != nil {
+			return nil, err
+		}
+		if mode == StructSuccinct {
+			s.succ = recordsToArrays(s).build()
+			s.nodes, s.end, s.level = nil, nil, nil
+		}
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -311,10 +358,164 @@ func LoadBinary(data []byte) (*Store, error) {
 	return s, nil
 }
 
+// loadTreeV3 parses the succinct structure section into s.succ. The
+// bytes are untrusted: shape checks here, semantic checks in
+// deriveFromSuccinct.
+func (s *Store) loadTreeV3(r *reader) error {
+	nParens, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	nOpens, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	nLeaves, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nParens != 2*nOpens || nOpens == 0 || nLeaves >= nOpens {
+		return fmt.Errorf("storage: implausible structure shape (%d parens, %d opens, %d leaves)",
+			nParens, nOpens, nLeaves)
+	}
+	if nParens/8 > uint64(len(r.data)) {
+		return fmt.Errorf("storage: implausible paren count %d", nParens)
+	}
+	nNodes := nOpens - nLeaves
+	parens, err := r.packedBits(int(nParens))
+	if err != nil {
+		return err
+	}
+	marks, err := r.packedBits(int(nOpens))
+	if err != nil {
+		return err
+	}
+	a := &succinctArrays{
+		parens:  parens,
+		nParens: int(nParens),
+		marks:   marks,
+		nOpens:  int(nOpens),
+		tags:    make([]uint16, nNodes),
+		valCont: make([]int32, nLeaves),
+		valIdx:  make([]int32, nLeaves),
+	}
+	for i := range a.tags {
+		t, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if t >= uint64(len(s.Names)) {
+			return fmt.Errorf("storage: node %d has unknown tag %d", i+1, t)
+		}
+		a.tags[i] = uint16(t)
+	}
+	for i := range a.valIdx {
+		v, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if v >= uint64(len(r.data))+uint64(nOpens) {
+			return fmt.Errorf("storage: implausible value index %d", v)
+		}
+		a.valCont[i] = -1 // resolved by deriveFromSuccinct
+		a.valIdx[i] = int32(v)
+	}
+	t := a.build()
+	if t.isNode.Ones() != int(nNodes) || t.pv.Ones() != int(nOpens) {
+		return fmt.Errorf("storage: structure bit counts disagree with the header")
+	}
+	s.succ = t
+	return nil
+}
+
+// packedBits reads ceil(nBits/8) bytes written by appendPackedBits back
+// into bit words.
+func (r *reader) packedBits(nBits int) ([]uint64, error) {
+	nBytes := (nBits + 7) / 8
+	if r.pos+nBytes > len(r.data) {
+		return nil, fmt.Errorf("storage: truncated bit section")
+	}
+	words := make([]uint64, (nBits+63)/64)
+	for i := 0; i < nBytes; i++ {
+		words[i>>3] |= uint64(r.data[r.pos+i]) << (8 * (uint(i) & 7))
+	}
+	r.pos += nBytes
+	return words, nil
+}
+
+// loadTreeV2 parses the version-2 record-stream structure section into
+// s.nodes (tags and child lists only; reconstructDerived fills the
+// rest).
+func (s *Store) loadTreeV2(r *reader) error {
+	nNodes, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if nNodes == 0 || nNodes > uint64(len(r.data)) {
+		return fmt.Errorf("storage: implausible node count %d", nNodes)
+	}
+	s.nodes = make([]NodeRecord, nNodes)
+	s.end = make([]NodeID, nNodes)
+	s.level = make([]uint16, nNodes)
+	for i := uint64(0); i < nNodes; i++ {
+		id := NodeID(i + 1)
+		tag, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if tag >= uint64(len(s.Names)) {
+			return fmt.Errorf("storage: node %d has unknown tag %d", id, tag)
+		}
+		nKids, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if nKids > nNodes+uint64(len(r.data)) {
+			return fmt.Errorf("storage: node %d kid count %d implausible", id, nKids)
+		}
+		n := &s.nodes[i]
+		n.Tag = uint16(tag)
+		for k := uint64(0); k < nKids; k++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if v&1 == 1 {
+				recIdx, err := r.uvarint()
+				if err != nil {
+					return err
+				}
+				n.Kids = append(n.Kids, ValueChild(len(n.Values)))
+				// Container resolved during the reconstruction walk.
+				n.Values = append(n.Values, ValueRef{Container: -1, Index: int32(recIdx)})
+			} else {
+				kid := id + NodeID(v>>1)
+				if uint64(kid) > nNodes || kid <= id {
+					return fmt.Errorf("storage: node %d has bad child %d", id, kid)
+				}
+				n.Kids = append(n.Kids, NodeChild(kid))
+			}
+		}
+	}
+	return nil
+}
+
+// buildNodeIndex bulk-loads the B+ node index over the record array
+// (records backend only; the succinct backend navigates by rank).
+func (s *Store) buildNodeIndex() {
+	keys := make([]uint64, len(s.nodes))
+	vals := make([]int64, len(s.nodes))
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		vals[i] = int64(i)
+	}
+	s.Index = btree.BulkLoad(keys, vals)
+}
+
 // reconstructDerived rebuilds parents, subtree ends, levels, the
 // structure summary with extents, the value-ref container fields, and
-// the B+ index — everything AppendBinary leaves out.
-func (s *Store) reconstructDerived() error {
+// (when the record backend stays resident) the B+ index.
+func (s *Store) reconstructDerived(buildIndex bool) error {
 	sum := &Summary{}
 	s.Sum = sum
 	contByPath := map[string]int32{}
@@ -324,7 +525,7 @@ func (s *Store) reconstructDerived() error {
 	fanTotal := map[int32]int{}
 
 	resolveValues := func(id NodeID, sn *SummaryNode) error {
-		n := &s.Nodes[id-1]
+		n := &s.nodes[id-1]
 		if len(n.Values) == 0 {
 			return nil
 		}
@@ -363,10 +564,10 @@ func (s *Store) reconstructDerived() error {
 		kidI int
 		sn   *SummaryNode
 	}
-	root := sum.child(nil, s.Names[s.Nodes[0].Tag], true)
+	root := sum.child(nil, s.Names[s.nodes[0].Tag], true)
 	root.Extent = append(root.Extent, 1)
-	s.Nodes[0].Parent = 0
-	s.Level[0] = 1
+	s.nodes[0].Parent = 0
+	s.level[0] = 1
 	if err := resolveValues(1, root); err != nil {
 		return err
 	}
@@ -375,7 +576,7 @@ func (s *Store) reconstructDerived() error {
 
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		n := &s.Nodes[f.id-1]
+		n := &s.nodes[f.id-1]
 		advanced := false
 		for f.kidI < len(n.Kids) {
 			k := n.Kids[f.kidI]
@@ -388,9 +589,9 @@ func (s *Store) reconstructDerived() error {
 				return fmt.Errorf("storage: node %d is not in pre-order (expected %d)", kid, visited+1)
 			}
 			visited = kid
-			s.Nodes[kid-1].Parent = f.id
-			s.Level[kid-1] = s.Level[f.id-1] + 1
-			tag := s.Names[s.Nodes[kid-1].Tag]
+			s.nodes[kid-1].Parent = f.id
+			s.level[kid-1] = s.level[f.id-1] + 1
+			tag := s.Names[s.nodes[kid-1].Tag]
 			ksn := sum.child(f.sn, tag, true)
 			ksn.Extent = append(ksn.Extent, kid)
 			if !isAttrName(tag) {
@@ -404,12 +605,12 @@ func (s *Store) reconstructDerived() error {
 			break
 		}
 		if !advanced {
-			s.End[f.id-1] = visited
+			s.end[f.id-1] = visited
 			stack = stack[:len(stack)-1]
 		}
 	}
-	if int(visited) != len(s.Nodes) {
-		return fmt.Errorf("storage: %d of %d nodes unreachable from the root", len(s.Nodes)-int(visited), len(s.Nodes))
+	if int(visited) != len(s.nodes) {
+		return fmt.Errorf("storage: %d of %d nodes unreachable from the root", len(s.nodes)-int(visited), len(s.nodes))
 	}
 
 	for _, sn := range sum.Nodes() {
@@ -419,13 +620,9 @@ func (s *Store) reconstructDerived() error {
 		}
 	}
 
-	keys := make([]uint64, len(s.Nodes))
-	vals := make([]int64, len(s.Nodes))
-	for i := range keys {
-		keys[i] = uint64(i + 1)
-		vals[i] = int64(i)
+	if buildIndex {
+		s.buildNodeIndex()
 	}
-	s.Index = btree.BulkLoad(keys, vals)
 	return nil
 }
 

@@ -157,9 +157,9 @@ func TestTextAndDeepText(t *testing.T) {
 	}
 	// Attribute node text.
 	var attrID NodeID
-	for _, k := range s.Node(p0).Kids {
-		if !k.IsValue() && s.IsAttr(k.Node()) {
-			attrID = k.Node()
+	for k := range s.Kids(p0) {
+		if k.ID != 0 && s.IsAttr(k.ID) {
+			attrID = k.ID
 		}
 	}
 	atxt, err := s.Text(nil, attrID)

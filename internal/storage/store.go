@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"iter"
 	"strings"
 
 	"xquec/internal/btree"
@@ -10,27 +11,36 @@ import (
 
 // Store is a loaded compressed repository: dictionary, structure tree,
 // B+ index, containers, structure summary and source models.
+//
+// The structure tree lives behind one of two backends: the explicit
+// per-node record arrays (the paper's layout, XQUEC_STRUCT=records) or
+// the balanced-parentheses self-index (the default — see
+// SuccinctStructure). All structural access goes through the accessor
+// methods, which answer identically on either backend.
 type Store struct {
 	// Names is the node-name dictionary: tag code -> name. Attribute
 	// names are stored with an '@' prefix; "#text" is the value tag.
 	Names   []string
 	nameIdx map[string]uint16
 
-	// Nodes holds the structure tree; Nodes[id-1] is the record of id.
-	Nodes []NodeRecord
-	// End[id-1] is the largest ID in the subtree of id, Level[id-1] its
-	// depth — together with the pre-order ID these are the "3-valued
-	// IDs" (pre/post/level) the paper lists as future work; they enable
-	// O(1) ancestorship tests and structural joins.
-	End   []NodeID
-	Level []uint16
+	// Record backend: nodes[id-1] is the record of id; end[id-1] the
+	// largest ID in its subtree, level[id-1] its depth — the "3-valued
+	// IDs" (pre/post/level) enabling O(1) ancestorship tests. Nil when
+	// the succinct backend is active.
+	nodes []NodeRecord
+	end   []NodeID
+	level []uint16
+
+	// Succinct backend: the BP self-index. Nil in records mode.
+	succ *SuccinctStructure
 
 	Containers []*Container
 	Sum        *Summary
 
 	// Index is the redundant B+ tree over node IDs (§2.2). With dense
 	// pre-order IDs it is not strictly necessary, but it is part of the
-	// paper's storage model and of the footprint ablation.
+	// paper's storage model and of the footprint ablation. The succinct
+	// backend — whose point is minimal resident structure — skips it.
 	Index *btree.Tree
 
 	// Models maps source-model group name -> (algorithm, codec).
@@ -70,24 +80,120 @@ func (s *Store) intern(name string) uint16 {
 	return c
 }
 
-// Node returns the record of id. IDs are 1-based.
-func (s *Store) Node(id NodeID) *NodeRecord {
-	return &s.Nodes[id-1]
+// StructureKind reports which structure backend is active.
+func (s *Store) StructureKind() StructureKind {
+	if s.succ != nil {
+		return StructSuccinct
+	}
+	return StructRecords
+}
+
+// StructureStats reports the succinct encoding's resident size in bits:
+// the BP proper (paren bitvector + rank/select directories + rmM tree),
+// the node-mark bitvector, and the tree node count they encode
+// (elements + attributes + immediate text values). All zero when the
+// record backend is resident.
+func (s *Store) StructureStats() (bpBits, markBits, treeNodes int) {
+	if s.succ == nil {
+		return 0, 0, 0
+	}
+	bp, marks, _ := s.succ.footprintBytes()
+	return 8 * bp, 8 * marks, s.succ.isNode.Len()
 }
 
 // NumNodes returns the number of element+attribute nodes.
-func (s *Store) NumNodes() int { return len(s.Nodes) }
+func (s *Store) NumNodes() int {
+	if s.succ != nil {
+		return s.succ.numNodes()
+	}
+	return len(s.nodes)
+}
 
 // Parent returns the parent of id (0 for the root).
-func (s *Store) Parent(id NodeID) NodeID { return s.Nodes[id-1].Parent }
+func (s *Store) Parent(id NodeID) NodeID {
+	if s.succ != nil {
+		return s.succ.parent(id)
+	}
+	return s.nodes[id-1].Parent
+}
 
 // SubtreeEnd returns the largest ID in the subtree of id.
-func (s *Store) SubtreeEnd(id NodeID) NodeID { return s.End[id-1] }
+func (s *Store) SubtreeEnd(id NodeID) NodeID {
+	if s.succ != nil {
+		return s.succ.subtreeEnd(id)
+	}
+	return s.end[id-1]
+}
+
+// LevelOf returns the depth of id (the root is 1; an attribute sits one
+// below its owner element).
+func (s *Store) LevelOf(id NodeID) uint16 {
+	if s.succ != nil {
+		return s.succ.levelOf(id)
+	}
+	return s.level[id-1]
+}
 
 // IsAncestor reports whether a is an ancestor of (or equal to) d, using
 // the pre/post interval test.
 func (s *Store) IsAncestor(a, d NodeID) bool {
-	return a <= d && d <= s.End[a-1]
+	return a <= d && d <= s.SubtreeEnd(a)
+}
+
+// TagCodeOf returns the dictionary code of the node's tag.
+func (s *Store) TagCodeOf(id NodeID) uint16 {
+	if s.succ != nil {
+		return s.succ.tags[id-1]
+	}
+	return s.nodes[id-1].Tag
+}
+
+// TagOf returns the tag name of a node.
+func (s *Store) TagOf(id NodeID) string { return s.Names[s.TagCodeOf(id)] }
+
+// IsAttr reports whether the node is an attribute node.
+func (s *Store) IsAttr(id NodeID) bool { return strings.HasPrefix(s.TagOf(id), "@") }
+
+// Kids yields the node's children in document order: element and
+// attribute children by ID, immediate text values by value ref.
+func (s *Store) Kids(id NodeID) iter.Seq[Kid] {
+	if s.succ != nil {
+		return s.succ.kids(id)
+	}
+	n := &s.nodes[id-1]
+	return func(yield func(Kid) bool) {
+		for _, k := range n.Kids {
+			if k.IsValue() {
+				if !yield(Kid{Val: n.Values[k.ValueIndex()]}) {
+					return
+				}
+			} else if !yield(Kid{ID: k.Node()}) {
+				return
+			}
+		}
+	}
+}
+
+// HasText reports whether the node has at least one immediate text
+// value (for attribute nodes: the attribute value).
+func (s *Store) HasText(id NodeID) bool {
+	if s.succ != nil {
+		return s.succ.hasText(id)
+	}
+	return len(s.nodes[id-1].Values) > 0
+}
+
+// ScanNodes calls fn for every node in pre-order (= ID order) with its
+// depth — the bulk structural sweep behind shard tables and spine
+// indexes, cheaper than per-ID LevelOf on either backend.
+func (s *Store) ScanNodes(fn func(id NodeID, level uint16)) {
+	if s.succ != nil {
+		s.succ.scanNodes(fn)
+		return
+	}
+	for i, lvl := range s.level {
+		fn(NodeID(i+1), lvl)
+	}
 }
 
 // Container returns the i-th container.
@@ -104,19 +210,15 @@ func (s *Store) ContainerByPath(path string) (*Container, bool) {
 	return nil, false
 }
 
-// TagOf returns the tag name of a node.
-func (s *Store) TagOf(id NodeID) string { return s.Names[s.Nodes[id-1].Tag] }
-
-// IsAttr reports whether the node is an attribute node.
-func (s *Store) IsAttr(id NodeID) bool { return strings.HasPrefix(s.TagOf(id), "@") }
-
 // Text appends the decompressed concatenation of the node's immediate
 // text values (for attribute nodes, the attribute value).
 func (s *Store) Text(dst []byte, id NodeID) ([]byte, error) {
-	n := &s.Nodes[id-1]
 	var err error
-	for _, vr := range n.Values {
-		dst, err = s.Containers[vr.Container].Decode(dst, int(vr.Index))
+	for k := range s.Kids(id) {
+		if k.ID != 0 {
+			continue
+		}
+		dst, err = s.Containers[k.Val.Container].Decode(dst, int(k.Val.Index))
 		if err != nil {
 			return dst, err
 		}
@@ -127,21 +229,19 @@ func (s *Store) Text(dst []byte, id NodeID) ([]byte, error) {
 // DeepText appends the decompressed concatenation of every text value in
 // the subtree of id (document order) — the string value of an element.
 func (s *Store) DeepText(dst []byte, id NodeID) ([]byte, error) {
-	n := &s.Nodes[id-1]
 	var err error
-	for _, k := range n.Kids {
-		if k.IsValue() {
-			vr := n.Values[k.ValueIndex()]
-			dst, err = s.Containers[vr.Container].Decode(dst, int(vr.Index))
+	for k := range s.Kids(id) {
+		if k.ID == 0 {
+			dst, err = s.Containers[k.Val.Container].Decode(dst, int(k.Val.Index))
 			if err != nil {
 				return dst, err
 			}
 			continue
 		}
-		if s.IsAttr(k.Node()) {
+		if s.IsAttr(k.ID) {
 			continue
 		}
-		dst, err = s.DeepText(dst, k.Node())
+		dst, err = s.DeepText(dst, k.ID)
 		if err != nil {
 			return dst, err
 		}
@@ -163,8 +263,7 @@ func (s *Store) Serialize(dst []byte, id NodeID) ([]byte, error) {
 // subtrees one at a time performs no per-value decode allocation. The
 // scratch holds only transient single-value state between calls.
 func (s *Store) SerializeScratch(sc *Scratch, dst []byte, id NodeID) ([]byte, error) {
-	n := &s.Nodes[id-1]
-	tag := s.Names[n.Tag]
+	tag := s.TagOf(id)
 	if strings.HasPrefix(tag, "@") {
 		// Attribute serialized standalone: name="value".
 		dst = append(dst, tag[1:]...)
@@ -185,49 +284,43 @@ func (s *Store) SerializeScratch(sc *Scratch, dst []byte, id NodeID) ([]byte, er
 	}
 	dst = append(dst, '<')
 	dst = append(dst, tag...)
-	// Attributes first.
-	for _, k := range n.Kids {
-		if k.IsValue() {
+	// One pass over the children: attributes serialize with the tag,
+	// content children are collected for the body (kid iteration is not
+	// free on the succinct backend, so avoid repeated sweeps). The
+	// collection region [base, base+n) of the shared scratch survives
+	// recursive calls, which append past it and truncate on return.
+	base := len(sc.kids)
+	for k := range s.Kids(id) {
+		if k.ID != 0 && s.IsAttr(k.ID) {
+			dst = append(dst, ' ')
+			var err error
+			dst, err = s.SerializeScratch(sc, dst, k.ID)
+			if err != nil {
+				return dst, err
+			}
 			continue
 		}
-		kid := k.Node()
-		if !s.IsAttr(kid) {
-			continue
-		}
-		dst = append(dst, ' ')
-		var err error
-		dst, err = s.SerializeScratch(sc, dst, kid)
-		if err != nil {
-			return dst, err
-		}
+		sc.kids = append(sc.kids, k)
 	}
-	hasContent := false
-	for _, k := range n.Kids {
-		if k.IsValue() || !s.IsAttr(k.Node()) {
-			hasContent = true
-			break
-		}
-	}
-	if !hasContent {
+	n := len(sc.kids) - base
+	defer func() { sc.kids = sc.kids[:base] }()
+	if n == 0 {
 		return append(dst, '/', '>'), nil
 	}
 	dst = append(dst, '>')
 	var err error
-	for _, k := range n.Kids {
-		if k.IsValue() {
-			vr := n.Values[k.ValueIndex()]
+	for i := base; i < base+n; i++ {
+		k := sc.kids[i]
+		if k.ID == 0 {
 			var v []byte
-			v, err = s.Containers[vr.Container].DecodeScratch(sc, int(vr.Index))
+			v, err = s.Containers[k.Val.Container].DecodeScratch(sc, int(k.Val.Index))
 			if err != nil {
 				return dst, err
 			}
 			dst = appendEscapedText(dst, v)
 			continue
 		}
-		if s.IsAttr(k.Node()) {
-			continue
-		}
-		dst, err = s.SerializeScratch(sc, dst, k.Node())
+		dst, err = s.SerializeScratch(sc, dst, k.ID)
 		if err != nil {
 			return dst, err
 		}
@@ -270,48 +363,44 @@ func appendEscapedAttr(dst, v []byte) []byte {
 }
 
 // Validate checks the structural invariants of the repository; tests and
-// the loader's failure-injection suite rely on it.
+// the loader's failure-injection suite rely on it. It runs entirely on
+// the accessor surface, so it validates whichever backend is active.
 func (s *Store) Validate() error {
-	if len(s.Nodes) == 0 {
+	nNodes := s.NumNodes()
+	if nNodes == 0 {
 		return fmt.Errorf("storage: empty structure tree")
 	}
-	for i := range s.Nodes {
+	for i := 0; i < nNodes; i++ {
 		id := NodeID(i + 1)
-		n := &s.Nodes[i]
-		if int(n.Tag) >= len(s.Names) {
-			return fmt.Errorf("storage: node %d has out-of-range tag %d", id, n.Tag)
+		if int(s.TagCodeOf(id)) >= len(s.Names) {
+			return fmt.Errorf("storage: node %d has out-of-range tag %d", id, s.TagCodeOf(id))
 		}
-		if n.Parent >= id {
-			return fmt.Errorf("storage: node %d has non-preceding parent %d", id, n.Parent)
+		if p := s.Parent(id); p >= id {
+			return fmt.Errorf("storage: node %d has non-preceding parent %d", id, p)
 		}
-		if s.End[i] < id || int(s.End[i]) > len(s.Nodes) {
-			return fmt.Errorf("storage: node %d has bad subtree end %d", id, s.End[i])
+		if e := s.SubtreeEnd(id); e < id || int(e) > nNodes {
+			return fmt.Errorf("storage: node %d has bad subtree end %d", id, e)
 		}
-		for _, k := range n.Kids {
-			if k.IsValue() {
-				if k.ValueIndex() >= len(n.Values) {
-					return fmt.Errorf("storage: node %d has dangling value ref", id)
+		for k := range s.Kids(id) {
+			if k.ID == 0 {
+				vr := k.Val
+				if int(vr.Container) >= len(s.Containers) || vr.Container < 0 {
+					return fmt.Errorf("storage: node %d references container %d", id, vr.Container)
+				}
+				c := s.Containers[vr.Container]
+				if int(vr.Index) >= c.Len() {
+					return fmt.Errorf("storage: node %d references record %d of %s", id, vr.Index, c.Path)
+				}
+				if c.Record(int(vr.Index)).Owner != id {
+					return fmt.Errorf("storage: value owner mismatch for node %d", id)
 				}
 				continue
 			}
-			kid := k.Node()
-			if kid <= id || int(kid) > len(s.Nodes) {
-				return fmt.Errorf("storage: node %d has bad child %d", id, kid)
+			if k.ID <= id || int(k.ID) > nNodes {
+				return fmt.Errorf("storage: node %d has bad child %d", id, k.ID)
 			}
-			if s.Nodes[kid-1].Parent != id {
-				return fmt.Errorf("storage: child %d of %d has parent %d", kid, id, s.Nodes[kid-1].Parent)
-			}
-		}
-		for _, vr := range n.Values {
-			if int(vr.Container) >= len(s.Containers) {
-				return fmt.Errorf("storage: node %d references container %d", id, vr.Container)
-			}
-			c := s.Containers[vr.Container]
-			if int(vr.Index) >= c.Len() {
-				return fmt.Errorf("storage: node %d references record %d of %s", id, vr.Index, c.Path)
-			}
-			if c.Record(int(vr.Index)).Owner != id {
-				return fmt.Errorf("storage: value owner mismatch for node %d", id)
+			if p := s.Parent(k.ID); p != id {
+				return fmt.Errorf("storage: child %d of %d has parent %d", k.ID, id, p)
 			}
 		}
 	}

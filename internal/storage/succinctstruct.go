@@ -1,0 +1,446 @@
+package storage
+
+import (
+	"fmt"
+	"iter"
+	"os"
+
+	"xquec/internal/succinct"
+)
+
+// StructureKind selects the in-memory encoding of the structure tree.
+type StructureKind uint8
+
+const (
+	// StructDefault resolves to StructSuccinct unless the XQUEC_STRUCT
+	// environment variable is "records".
+	StructDefault StructureKind = iota
+	// StructRecords is the paper's explicit per-node record array
+	// (NodeRecord + parent/end/level arrays) — retained as the
+	// differential oracle and escape hatch.
+	StructRecords
+	// StructSuccinct is the balanced-parentheses self-index: ~2-3 bits
+	// per tree node instead of tens of bytes.
+	StructSuccinct
+)
+
+func (k StructureKind) String() string {
+	switch k {
+	case StructRecords:
+		return "records"
+	case StructSuccinct:
+		return "succinct"
+	}
+	return "default"
+}
+
+// resolveStructure applies the environment default.
+func resolveStructure(k StructureKind) StructureKind {
+	if k != StructDefault {
+		return k
+	}
+	if os.Getenv("XQUEC_STRUCT") == "records" {
+		return StructRecords
+	}
+	return StructSuccinct
+}
+
+// Kid is one child of a node in document order: an element/attribute
+// child (ID != 0) or an immediate text value (ID == 0, Val set).
+type Kid struct {
+	ID  NodeID
+	Val ValueRef
+}
+
+// SuccinctStructure is the balanced-parentheses encoding of the
+// structure tree. Every tree node — element, attribute, and each
+// immediate text value — is one paren pair in pre-order, so the parens
+// capture the full document shape including text interleaving. A
+// second bitvector over open-paren ordinals marks which opens are
+// element/attribute nodes (the ones carrying NodeIDs); the rest are
+// text leaves, whose pre-order ordinal indexes the value-ref arrays.
+//
+//	parens:  ( ( ( ) ) ( ) )        BP bits, 1=open
+//	isNode:  1 1 0 1                 per open: node or text leaf
+//	tags:    per node, pre-order     = NodeID order
+//	valCont/valIdx: per text leaf, pre-order
+type SuccinctStructure struct {
+	bp     *succinct.BP
+	pv     *succinct.Bitvector // the paren bitvector (bp's backing)
+	isNode *succinct.Bitvector
+
+	tags    []uint16 // tag code per node, tags[id-1]
+	valCont []int32  // container index per text leaf
+	valIdx  []int32  // record index per text leaf
+}
+
+// succinctArrays is the raw (directory-free) form of the encoding: what
+// persists to disk and what the builders produce before rank/select
+// and rmM construction.
+type succinctArrays struct {
+	parens  []uint64
+	nParens int
+	marks   []uint64 // isNode bits over open ordinals
+	nOpens  int
+	tags    []uint16
+	valCont []int32
+	valIdx  []int32
+}
+
+// build freezes the arrays into a navigable structure.
+func (a *succinctArrays) build() *SuccinctStructure {
+	pv := succinct.NewBitvector(a.parens, a.nParens)
+	return &SuccinctStructure{
+		bp:      succinct.NewBP(pv),
+		pv:      pv,
+		isNode:  succinct.NewBitvector(a.marks, a.nOpens),
+		tags:    a.tags,
+		valCont: a.valCont,
+		valIdx:  a.valIdx,
+	}
+}
+
+// arrays returns the raw encoding (shared backing, do not mutate).
+func (t *SuccinctStructure) arrays() *succinctArrays {
+	return &succinctArrays{
+		parens:  t.pv.Words(),
+		nParens: t.pv.Len(),
+		marks:   t.isNode.Words(),
+		nOpens:  t.isNode.Len(),
+		tags:    t.tags,
+		valCont: t.valCont,
+		valIdx:  t.valIdx,
+	}
+}
+
+// numNodes returns the element+attribute node count.
+func (t *SuccinctStructure) numNodes() int { return t.isNode.Ones() }
+
+// openPos returns the paren position of the node's open paren.
+func (t *SuccinctStructure) openPos(id NodeID) int {
+	return t.pv.Select1(t.isNode.Select1(int(id) - 1))
+}
+
+// idAtOpen returns the NodeID of the element/attribute node whose open
+// paren sits at position p.
+func (t *SuccinctStructure) idAtOpen(p int) NodeID {
+	ord := t.pv.Rank1(p)
+	return NodeID(t.isNode.Rank1(ord) + 1)
+}
+
+// parent returns the parent node (0 for the root).
+func (t *SuccinctStructure) parent(id NodeID) NodeID {
+	q := t.bp.Enclose(t.openPos(id))
+	if q < 0 {
+		return 0
+	}
+	return t.idAtOpen(q)
+}
+
+// subtreeEnd returns the largest NodeID inside the subtree of id: the
+// number of node opens before the matching close paren. The paren rank
+// at the close is derived from the open ordinal k — the subtree
+// [q, c] holds exactly (c-q+1)/2 opens — saving a Rank1.
+func (t *SuccinctStructure) subtreeEnd(id NodeID) NodeID {
+	k := t.isNode.Select1(int(id) - 1)
+	q := t.pv.Select1(k)
+	c := t.bp.FindCloseAt(q, 2*(k+1)-(q+1))
+	return NodeID(t.isNode.Rank1(k + (c-q+1)/2))
+}
+
+// levelOf returns the node's depth (root = 1): the excess at its open,
+// which falls out of the select pair as 2*(k+1) - (q+1).
+func (t *SuccinctStructure) levelOf(id NodeID) uint16 {
+	k := t.isNode.Select1(int(id) - 1)
+	q := t.pv.Select1(k)
+	return uint16(2*(k+1) - (q + 1))
+}
+
+// kids yields the node's children in document order. The open ordinal
+// is tracked incrementally — a skipped kid subtree spanning parens
+// [q, c] holds exactly (c-q+1)/2 opens — so each kid costs one
+// isNode rank plus one FindClose, with no paren ranks at all.
+func (t *SuccinctStructure) kids(id NodeID) iter.Seq[Kid] {
+	return func(yield func(Kid) bool) {
+		k := t.isNode.Select1(int(id) - 1) // open ordinal of id itself
+		q := t.pv.Select1(k) + 1
+		ord := k + 1
+		for t.pv.Get(q) {
+			if t.isNode.Get(ord) {
+				if !yield(Kid{ID: NodeID(t.isNode.Rank1(ord) + 1)}) {
+					return
+				}
+				c := t.bp.FindCloseAt(q, 2*(ord+1)-(q+1))
+				ord += (c - q + 1) / 2
+				q = c + 1
+			} else {
+				v := ord - t.isNode.Rank1(ord)
+				if !yield(Kid{Val: ValueRef{Container: t.valCont[v], Index: t.valIdx[v]}}) {
+					return
+				}
+				ord++
+				q += 2 // a text leaf is always "()"
+			}
+		}
+	}
+}
+
+// hasText reports whether the node has at least one immediate text
+// value (for attribute nodes: the attribute value).
+func (t *SuccinctStructure) hasText(id NodeID) bool {
+	k := t.isNode.Select1(int(id) - 1)
+	q := t.pv.Select1(k) + 1
+	ord := k + 1
+	for t.pv.Get(q) {
+		if !t.isNode.Get(ord) {
+			return true
+		}
+		c := t.bp.FindCloseAt(q, 2*(ord+1)-(q+1))
+		ord += (c - q + 1) / 2
+		q = c + 1
+	}
+	return false
+}
+
+// scanNodes calls fn for every node in pre-order with its depth.
+func (t *SuccinctStructure) scanNodes(fn func(id NodeID, level uint16)) {
+	depth, ord, id := 0, 0, 0
+	n := t.pv.Len()
+	for p := 0; p < n; p++ {
+		if t.pv.Get(p) {
+			depth++
+			if t.isNode.Get(ord) {
+				id++
+				fn(NodeID(id), uint16(depth))
+			}
+			ord++
+		} else {
+			depth--
+		}
+	}
+}
+
+// footprintBytes returns (bp+directories, marks, tags+valrefs) resident
+// sizes — the split Footprint reports.
+func (t *SuccinctStructure) footprintBytes() (bp, marks, refs int) {
+	bp = t.bp.FootprintBytes()
+	marks = t.isNode.FootprintBytes()
+	refs = 2*len(t.tags) + 8*len(t.valCont)
+	return
+}
+
+// recordsToArrays encodes the record-backed structure tree as succinct
+// arrays via one pre-order walk over the child lists (which carry the
+// text interleaving the parens must preserve).
+func recordsToArrays(s *Store) *succinctArrays {
+	nNodes := len(s.nodes)
+	nLeaves := 0
+	for i := range s.nodes {
+		nLeaves += len(s.nodes[i].Values)
+	}
+	pb := succinct.NewBitBuilder(2 * (nNodes + nLeaves))
+	mb := succinct.NewBitBuilder(nNodes + nLeaves)
+	a := &succinctArrays{
+		tags:    make([]uint16, 0, nNodes),
+		valCont: make([]int32, 0, nLeaves),
+		valIdx:  make([]int32, 0, nLeaves),
+	}
+	type frame struct {
+		id   NodeID
+		kidI int
+	}
+	open := func(id NodeID) {
+		pb.Append(true)
+		mb.Append(true)
+		a.tags = append(a.tags, s.nodes[id-1].Tag)
+	}
+	stack := []frame{{id: 1}}
+	open(1)
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		n := &s.nodes[f.id-1]
+		if f.kidI >= len(n.Kids) {
+			pb.Append(false)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		k := n.Kids[f.kidI]
+		f.kidI++
+		if k.IsValue() {
+			vr := n.Values[k.ValueIndex()]
+			pb.Append(true)
+			pb.Append(false)
+			mb.Append(false)
+			a.valCont = append(a.valCont, vr.Container)
+			a.valIdx = append(a.valIdx, vr.Index)
+			continue
+		}
+		kid := k.Node()
+		open(kid)
+		stack = append(stack, frame{id: kid})
+	}
+	a.parens, a.nParens = pb.Words(), pb.Len()
+	a.marks, a.nOpens = mb.Words(), mb.Len()
+	return a
+}
+
+// succinctToRecords rebuilds the record arrays from the paren walk —
+// the XQUEC_STRUCT=records path for repositories read from the
+// succinct persist format.
+func succinctToRecords(t *SuccinctStructure) (nodes []NodeRecord, end []NodeID, level []uint16, err error) {
+	nNodes := t.numNodes()
+	nodes = make([]NodeRecord, nNodes)
+	end = make([]NodeID, nNodes)
+	level = make([]uint16, nNodes)
+	var stack []NodeID
+	ord, id, vord := 0, NodeID(0), 0
+	n := t.pv.Len()
+	for p := 0; p < n; p++ {
+		if !t.pv.Get(p) {
+			if len(stack) == 0 {
+				return nil, nil, nil, fmt.Errorf("storage: unbalanced parens at %d", p)
+			}
+			end[stack[len(stack)-1]-1] = id
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if t.isNode.Get(ord) {
+			id++
+			nodes[id-1].Tag = t.tags[id-1]
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				nodes[id-1].Parent = parent
+				nodes[parent-1].Kids = append(nodes[parent-1].Kids, NodeChild(id))
+			}
+			level[id-1] = uint16(len(stack) + 1)
+			stack = append(stack, id)
+		} else {
+			if len(stack) == 0 || p+1 >= n || t.pv.Get(p+1) {
+				return nil, nil, nil, fmt.Errorf("storage: malformed text leaf at %d", p)
+			}
+			owner := &nodes[stack[len(stack)-1]-1]
+			owner.Kids = append(owner.Kids, ValueChild(len(owner.Values)))
+			owner.Values = append(owner.Values,
+				ValueRef{Container: t.valCont[vord], Index: t.valIdx[vord]})
+			vord++
+			p++ // consume the leaf's close
+		}
+		ord++
+	}
+	if len(stack) != 0 || int(id) != nNodes {
+		return nil, nil, nil, fmt.Errorf("storage: truncated paren sequence")
+	}
+	return nodes, end, level, nil
+}
+
+// deriveFromSuccinct rebuilds everything the succinct persist section
+// leaves out: the structure summary with extents and stats, the
+// container index of each value ref (path-implied), and the container
+// records' owner back-pointers. It is the succinct counterpart of the
+// record walk in reconstructDerived, with the same validation duties —
+// the input bytes are untrusted.
+func (s *Store) deriveFromSuccinct() error {
+	t := s.succ
+	sum := &Summary{}
+	s.Sum = sum
+	contByPath := map[string]int32{}
+	for i, c := range s.Containers {
+		contByPath[c.Path] = int32(i)
+	}
+	fanTotal := map[int32]int{}
+
+	type sframe struct {
+		id NodeID
+		sn *SummaryNode
+	}
+	var stack []sframe
+	ord, id, vord := 0, NodeID(0), 0
+	n := t.pv.Len()
+	for p := 0; p < n; p++ {
+		if !t.pv.Get(p) {
+			if len(stack) == 0 {
+				return fmt.Errorf("storage: unbalanced structure parens at %d", p)
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if ord >= t.isNode.Len() {
+			return fmt.Errorf("storage: more opens than node marks")
+		}
+		if t.isNode.Get(ord) {
+			id++
+			if int(id) > len(t.tags) {
+				return fmt.Errorf("storage: more nodes than tags")
+			}
+			tagCode := t.tags[id-1]
+			if int(tagCode) >= len(s.Names) {
+				return fmt.Errorf("storage: node %d has unknown tag %d", id, tagCode)
+			}
+			tag := s.Names[tagCode]
+			var psn *SummaryNode
+			if len(stack) > 0 {
+				psn = stack[len(stack)-1].sn
+			} else if id != 1 {
+				return fmt.Errorf("storage: node %d outside the root subtree", id)
+			}
+			sn := sum.child(psn, tag, true)
+			sn.Extent = append(sn.Extent, id)
+			if psn != nil && !isAttrName(tag) {
+				fanTotal[psn.ID]++
+			}
+			stack = append(stack, sframe{id: id, sn: sn})
+		} else {
+			if len(stack) == 0 {
+				return fmt.Errorf("storage: text leaf outside the root subtree")
+			}
+			if vord >= len(t.valIdx) {
+				return fmt.Errorf("storage: more text leaves than value refs")
+			}
+			f := &stack[len(stack)-1]
+			var vsn *SummaryNode
+			if isAttrName(s.Names[t.tags[f.id-1]]) {
+				vsn = f.sn
+			} else {
+				vsn = sum.child(f.sn, "#text", true)
+			}
+			if vsn.Container < 0 {
+				ci, ok := contByPath[vsn.Path()]
+				if !ok {
+					return fmt.Errorf("storage: no container for path %s", vsn.Path())
+				}
+				vsn.Container = ci
+			}
+			cont := s.Containers[vsn.Container]
+			idx := int(t.valIdx[vord])
+			if idx >= cont.Len() {
+				return fmt.Errorf("storage: node %d value index %d out of range for %s", f.id, idx, cont.Path)
+			}
+			if owner := cont.recs[idx].Owner; owner != 0 && owner != f.id {
+				return fmt.Errorf("storage: record %d of %s claimed by nodes %d and %d", idx, cont.Path, owner, f.id)
+			}
+			cont.recs[idx].Owner = f.id
+			t.valCont[vord] = vsn.Container
+			vord++
+			if p+1 >= n || t.pv.Get(p+1) {
+				return fmt.Errorf("storage: malformed text leaf at %d", p)
+			}
+			p++ // consume the leaf's close
+		}
+		ord++
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("storage: unbalanced structure parens")
+	}
+	if int(id) != len(t.tags) || vord != len(t.valIdx) || ord != t.isNode.Len() {
+		return fmt.Errorf("storage: structure section inconsistent (%d/%d nodes, %d/%d values)",
+			id, len(t.tags), vord, len(t.valIdx))
+	}
+
+	for _, sn := range sum.Nodes() {
+		sn.Count = len(sn.Extent)
+		if sn.Count > 0 {
+			sn.AvgFan = float64(fanTotal[sn.ID]) / float64(sn.Count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package storage
+
+import "xquec/internal/succinct"
+
+// NewSyntheticStructure builds a Store holding only the structure tree
+// described by a pre-order subtree-end array (end[i] is the largest
+// NodeID inside the subtree of node i+1; proper nesting required).
+// Tags, values, summary and dictionary are absent — this exists for
+// benchmarks and tests of the purely structural operators. The
+// resident backend follows XQUEC_STRUCT like a normal load, so the
+// same benchmark exercises whichever encoding is under test.
+func NewSyntheticStructure(end []NodeID) *Store {
+	n := len(end)
+	if resolveStructure(StructDefault) == StructRecords {
+		s := &Store{
+			nodes: make([]NodeRecord, n),
+			end:   append([]NodeID(nil), end...),
+			level: make([]uint16, n),
+		}
+		var stack []NodeID
+		for i := 0; i < n; i++ {
+			id := NodeID(i + 1)
+			for len(stack) > 0 && end[stack[len(stack)-1]-1] < id {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				s.nodes[i].Parent = p
+				s.nodes[p-1].Kids = append(s.nodes[p-1].Kids, NodeChild(id))
+			}
+			s.level[i] = uint16(len(stack) + 1)
+			stack = append(stack, id)
+		}
+		return s
+	}
+	pb := succinct.NewBitBuilder(2 * n)
+	mb := succinct.NewBitBuilder(n)
+	var stack []NodeID
+	for i := 0; i < n; i++ {
+		id := NodeID(i + 1)
+		for len(stack) > 0 && end[stack[len(stack)-1]-1] < id {
+			pb.Append(false)
+			stack = stack[:len(stack)-1]
+		}
+		pb.Append(true)
+		mb.Append(true)
+		stack = append(stack, id)
+	}
+	for range stack {
+		pb.Append(false)
+	}
+	a := &succinctArrays{
+		parens: pb.Words(), nParens: pb.Len(),
+		marks: mb.Words(), nOpens: mb.Len(),
+		tags: make([]uint16, n),
+	}
+	return &Store{succ: a.build()}
+}

@@ -865,6 +865,41 @@ func (db *Database) CompressionFactor() float64 {
 	return 1 - float64(s.CompressedBytes)/float64(s.OriginalBytes)
 }
 
+// memberStores lists every physical store of the database: the single
+// repository, or all shard/segment members.
+func (db *Database) memberStores() []*storage.Store {
+	switch {
+	case db.set != nil:
+		return db.set.Stores
+	case db.segs != nil:
+		return db.segs.Stores
+	}
+	return []*storage.Store{db.store}
+}
+
+// Footprint aggregates the in-memory component sizes over every member
+// repository (base store plus shard or segment members), so
+// AccessOverheadFactor reflects the whole database rather than just
+// the base store.
+func (db *Database) Footprint() storage.Footprint {
+	var f storage.Footprint
+	for _, st := range db.memberStores() {
+		f = f.Add(st.Footprint())
+	}
+	return f
+}
+
+// ResidentBytes is the database's total in-memory size across all
+// member repositories — what the server exports per repository as the
+// xquecd_repo_resident_bytes gauge.
+func (db *Database) ResidentBytes() int { return db.Footprint().Total() }
+
+// StructureKind names the resident structure backend ("succinct" or
+// "records" — see the XQUEC_STRUCT escape hatch).
+func (db *Database) StructureKind() string {
+	return db.memberStores()[0].StructureKind().String()
+}
+
 // Stats summarizes the database; for a sharded or segmented database
 // the sizes and counts aggregate over all member repositories (spine
 // duplication means a shard set carries slightly more nodes than the
