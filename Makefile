@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet vet-unsafeptr apicheck bench-serve bench bench-query bench-par bench-shard bench-codec bench-vm bench-append bench-succinct bench-succinct-smoke bench-paper fuzz-smoke
+.PHONY: check build test race vet vet-unsafeptr apicheck bench-serve bench bench-query bench-par bench-shard bench-codec bench-vm bench-append bench-succinct bench-succinct-smoke bench-diff bench-paper fuzz-smoke
 
-check: vet vet-unsafeptr apicheck build race bench bench-succinct-smoke ## tier-1: vet + deprecated-API gate + build + race-clean tests + bench smoke
+check: vet vet-unsafeptr apicheck build race bench bench-succinct-smoke bench-diff-advisory ## tier-1: vet + deprecated-API gate + build + race-clean tests + bench smoke
 
 vet:
 	$(GO) vet ./...
@@ -117,6 +117,24 @@ bench-vm:
 	$(GO) test -run '^$$' -bench 'BenchmarkVM(Stream|FirstResult|Predicate)' -benchmem . \
 	| /tmp/benchjson -o BENCH_vm.json -label vm-dispatch
 
+# Compare the latest two records of every benchmark log: `make check`
+# appends a fresh record per log (via bench), so this answers "what did
+# this commit change" benchmark-by-benchmark. bench-diff fails on
+# regressions past the threshold; the -advisory variant (in check)
+# reports them without failing the gate, since single-run noise on a
+# shared machine is well above a real gate threshold.
+BENCH_DIFF_THRESHOLD ?= 10
+bench-diff:
+	@$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	@fail=0; for f in BENCH_*.json; do \
+		echo "== $$f"; \
+		/tmp/benchjson -diff -threshold $(BENCH_DIFF_THRESHOLD) $$f $$f || fail=1; \
+	done; exit $$fail
+
+.PHONY: bench-diff-advisory
+bench-diff-advisory:
+	-@$(MAKE) --no-print-directory bench-diff
+
 # Short fuzzing pass over the codec fuzz targets (roundtrip, order
 # preservation, decode-vs-reference). Not part of tier-1 `check`; the
 # targets' seed corpora still run under plain `go test`.
@@ -131,6 +149,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCompile -fuzztime 5s ./internal/vm/
 	$(GO) test -run '^$$' -fuzz FuzzBitvectorRankSelect -fuzztime 5s ./internal/succinct/
 	$(GO) test -run '^$$' -fuzz FuzzBPNavigation -fuzztime 5s ./internal/succinct/
+	$(GO) test -run '^$$' -fuzz FuzzBulkNavigation -fuzztime 5s ./internal/storage/
 
 # Full paper benchmark suite (scaled-down in-test versions).
 bench-paper:

@@ -138,7 +138,13 @@ func BenchmarkSuccinctParent(b *testing.B) {
 func BenchmarkSuccinctQuery(b *testing.B) {
 	doc := datagen.XMark(datagen.XMarkConfig{Scale: succinctBenchScale, Seed: 17})
 	for _, bk := range structureBackends {
-		b.Setenv("XQUEC_STRUCT", map[string]string{"records": "records"}[bk.name])
+		// Both values explicit: a map with a missing key would silently
+		// fall back to "" (the default backend) and benchmark the same
+		// backend twice.
+		b.Setenv("XQUEC_STRUCT", map[string]string{
+			"records":  "records",
+			"succinct": "succinct",
+		}[bk.name])
 		db, err := xquec.Compress(doc, xquec.Options{})
 		if err != nil {
 			b.Fatal(err)

@@ -8,6 +8,16 @@
 // benchmark header, and every benchmark result with its ns/op, MB/s,
 // B/op and allocs/op where present. stdin passes through to stdout so
 // the pipe stays readable.
+//
+// The log is also the input of the second mode:
+//
+//	benchjson -diff old.json new.json -threshold 10
+//
+// compares the last record of each file benchmark-by-benchmark (ns/op
+// and every custom metric) and exits nonzero when anything regressed
+// past the threshold. Diffing a file against itself compares its last
+// two records — `benchjson -diff BENCH_x.json BENCH_x.json` answers
+// "what did the latest run change".
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,7 +55,17 @@ type Record struct {
 func main() {
 	out := flag.String("o", "", "append the JSON record to this file (default: stdout only)")
 	label := flag.String("label", "", "label stored in the record")
+	diff := flag.Bool("diff", false, "compare two benchmark logs: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two log files")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	rec := Record{Label: *label}
 	sc := bufio.NewScanner(os.Stdin)
@@ -131,4 +152,118 @@ func parseBench(line string) (Result, bool) {
 		return Result{}, false
 	}
 	return r, true
+}
+
+// readRecords parses every JSON line of a benchmark log.
+func readRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, i+1, err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+	return recs, nil
+}
+
+// higherIsBetter classifies a custom metric unit by its shape:
+// throughput units ("MB/s", "Mnodes/s", anything per second) improve
+// upward, densities and latencies ("bits/node", "ns/op") downward.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s")
+}
+
+// runDiff compares the reference record of oldPath against the latest
+// record of newPath and returns the process exit code: 0 when nothing
+// regressed past the threshold, 1 otherwise. The reference is the last
+// record of oldPath, or its second-to-last when both paths name the
+// same log (diffing a file against itself).
+func runDiff(oldPath, newPath string, threshold float64) int {
+	oldRecs, err := readRecords(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRecs, err := readRecords(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldRec := oldRecs[len(oldRecs)-1]
+	newRec := newRecs[len(newRecs)-1]
+	if oldPath == newPath {
+		if len(oldRecs) < 2 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has a single record, nothing to diff against\n", oldPath)
+			return 2
+		}
+		oldRec = oldRecs[len(oldRecs)-2]
+	}
+
+	oldBy := map[string]Result{}
+	for _, r := range oldRec.Results {
+		oldBy[r.Name] = r
+	}
+	regressions := 0
+	// compare emits one line per metric; worse results past the
+	// threshold count as regressions.
+	compare := func(name, unit string, oldV, newV float64, betterUp bool) {
+		if oldV == 0 {
+			return
+		}
+		pct := (newV - oldV) / oldV * 100
+		worse := pct > threshold
+		if betterUp {
+			worse = pct < -threshold
+		}
+		mark := " "
+		if worse {
+			mark = "!"
+			regressions++
+		}
+		fmt.Printf("%s %-60s %-10s %14.4g -> %-14.4g %+6.1f%%\n", mark, name, unit, oldV, newV, pct)
+	}
+	for _, nr := range newRec.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("+ %-60s (new benchmark)\n", nr.Name)
+			continue
+		}
+		delete(oldBy, nr.Name)
+		compare(nr.Name, "ns/op", or.NsPerOp, nr.NsPerOp, false)
+		units := make([]string, 0, len(nr.Metrics))
+		for unit := range nr.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if ov, ok := or.Metrics[unit]; ok {
+				compare(nr.Name, unit, ov, nr.Metrics[unit], higherIsBetter(unit))
+			}
+		}
+	}
+	dropped := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		dropped = append(dropped, name)
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Printf("- %-60s (dropped benchmark)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d regression(s) past %.1f%%\n", regressions, threshold)
+		return 1
+	}
+	return 0
 }

@@ -338,6 +338,9 @@ func cmdStats(args []string) error {
 	f := db.Footprint()
 	fmt.Printf("resident: %d bytes (structure=%s, access overhead %.2fx)\n",
 		f.Total(), db.StructureKind(), f.AccessOverheadFactor())
+	if bits := db.StructureBitsPerNode(); bits > 0 {
+		fmt.Printf("structure density: %.2f bits/node\n", bits)
+	}
 	if db.Sharded() {
 		fmt.Printf("shards: %d\n", db.Shards())
 	}

@@ -187,23 +187,22 @@ func Child(s *storage.Store, in NodeSet, tag string) NodeSet {
 // Parent is the Parent operator: the distinct parents of the input
 // nodes, in document order.
 func Parent(s *storage.Store, in NodeSet) NodeSet {
-	ids := make([]storage.NodeID, 0, len(in))
-	// Document order means sibling runs share a parent: a node one level
-	// below the last parent and inside its subtree needs no navigation.
-	var lastPar, lastEnd storage.NodeID
-	var lastLvl uint16
-	for _, id := range in {
-		var p storage.NodeID
-		if lastPar != 0 && id > lastPar && id <= lastEnd && s.LevelOf(id) == lastLvl+1 {
-			p = lastPar
-		} else if p = s.Parent(id); p != 0 {
-			lastPar, lastEnd, lastLvl = p, s.SubtreeEnd(p), s.LevelOf(p)
-		}
-		if p != 0 {
-			ids = append(ids, p)
+	// One bulk pass resolves every parent: the kernel rides the
+	// document-order invariant (sibling runs repeat the previous answer,
+	// and on the succinct backend the whole batch is one forward scan).
+	ids := make([]storage.NodeID, len(in))
+	s.ParentBulk(in, ids)
+	// Collapse adjacent duplicates while filtering roots: sibling runs
+	// in the document-ordered input repeat the same parent back to
+	// back, and dropping the repeats here usually leaves the output
+	// already strictly ascending, so SortUnique skips its sort.
+	out := ids[:0]
+	for _, p := range ids {
+		if p != 0 && (len(out) == 0 || out[len(out)-1] != p) {
+			out = append(out, p)
 		}
 	}
-	return SortUnique(ids)
+	return SortUnique(out)
 }
 
 // Descendants restricts a document-ordered candidate extent to the
@@ -211,9 +210,11 @@ func Parent(s *storage.Store, in NodeSet) NodeSet {
 // descendant-or-self step evaluated as an interval merge on pre/post
 // IDs (no navigation).
 func Descendants(s *storage.Store, in NodeSet, extent NodeSet) NodeSet {
+	ends := make([]storage.NodeID, len(in))
+	s.SubtreeEndBulk(in, ends)
 	var out []storage.NodeID
-	for _, a := range in {
-		end := s.SubtreeEnd(a)
+	for i, a := range in {
+		end := ends[i]
 		lo := sort.Search(len(extent), func(k int) bool { return extent[k] >= a })
 		for k := lo; k < len(extent) && extent[k] <= end; k++ {
 			out = append(out, extent[k])
@@ -228,14 +229,22 @@ func Descendants(s *storage.Store, in NodeSet, extent NodeSet) NodeSet {
 // contains at least one inner node — a structural semi-join via a
 // linear merge over the pre/post intervals.
 func SemiJoinAncestor(s *storage.Store, outer, inner NodeSet) NodeSet {
+	if len(inner) == 0 {
+		return nil
+	}
+	// An outer node past the last inner node cannot cover it; clamping
+	// keeps the bulk end lookup proportional to the useful range.
+	hi := sort.Search(len(outer), func(k int) bool { return outer[k] > inner[len(inner)-1] })
+	outer = outer[:hi]
+	ends := make([]storage.NodeID, len(outer))
+	s.SubtreeEndBulk(outer, ends)
 	var out NodeSet
 	j := 0
-	for _, a := range outer {
-		end := s.SubtreeEnd(a)
+	for i, a := range outer {
 		for j < len(inner) && inner[j] < a {
 			j++
 		}
-		if j < len(inner) && inner[j] <= end {
+		if j < len(inner) && inner[j] <= ends[i] {
 			out = append(out, a)
 		}
 	}
@@ -246,13 +255,21 @@ func SemiJoinAncestor(s *storage.Store, outer, inner NodeSet) NodeSet {
 // inside the outer set, returning pairs; inner nodes with no covering
 // outer node are dropped. Outer must be non-nesting (a path extent is).
 func MapToAncestorIn(s *storage.Store, outer, inner NodeSet) []Pair {
+	if len(inner) == 0 {
+		return nil
+	}
+	// Outer nodes past the last inner node cannot cover any of them.
+	hi := sort.Search(len(outer), func(k int) bool { return outer[k] > inner[len(inner)-1] })
+	outer = outer[:hi]
+	ends := make([]storage.NodeID, len(outer))
+	s.SubtreeEndBulk(outer, ends)
 	var out []Pair
 	j := 0
 	for _, d := range inner {
-		for j < len(outer) && s.SubtreeEnd(outer[j]) < d {
+		for j < len(outer) && ends[j] < d {
 			j++
 		}
-		if j < len(outer) && outer[j] <= d && d <= s.SubtreeEnd(outer[j]) {
+		if j < len(outer) && outer[j] <= d && d <= ends[j] {
 			out = append(out, Pair{A: outer[j], B: d})
 		}
 	}

@@ -128,6 +128,8 @@ type span struct{ lo, hi int }
 // descendant ranges of distinct chunks cannot overlap.
 func cutSubtreeChunks(s *storage.Store, in NodeSet, parts int) []span {
 	target := (len(in) + parts - 1) / parts
+	ends := make([]storage.NodeID, len(in))
+	s.SubtreeEndBulk(in, ends)
 	spans := make([]span, 0, parts)
 	lo := 0
 	for lo < len(in) {
@@ -138,13 +140,13 @@ func cutSubtreeChunks(s *storage.Store, in NodeSet, parts int) []span {
 		}
 		var end storage.NodeID
 		for k := lo; k < hi; k++ {
-			if e := s.SubtreeEnd(in[k]); e > end {
-				end = e
+			if ends[k] > end {
+				end = ends[k]
 			}
 		}
 		for hi < len(in) && in[hi] <= end {
-			if e := s.SubtreeEnd(in[hi]); e > end {
-				end = e
+			if ends[hi] > end {
+				end = ends[hi]
 			}
 			hi++
 		}

@@ -354,9 +354,13 @@ func childrenWithin(s *storage.Store, parents algebra.NodeSet, targets []*storag
 	for _, p := range parents {
 		inParents[p] = true
 	}
+	// One bulk pass resolves every extent node's parent (the extent is
+	// document-ordered, which is what the kernel rides).
+	pars := make([]storage.NodeID, len(extent))
+	s.ParentBulk(extent, pars)
 	var out algebra.NodeSet
-	for _, c := range extent {
-		if inParents[s.Parent(c)] {
+	for i, c := range extent {
+		if inParents[pars[i]] {
 			out = append(out, c)
 		}
 	}

@@ -231,20 +231,52 @@ func (p *Pool) Available() ([]string, error) {
 	return names, nil
 }
 
-// PoolStats is a snapshot of the pool's counters.
-type PoolStats struct {
-	Capacity  int      `json:"capacity"`
-	Resident  []string `json:"resident"`
-	Hits      int64    `json:"hits"`
-	Misses    int64    `json:"misses"`
-	Evictions int64    `json:"evictions"`
+// RepoStructure describes the structure backend of one resident
+// repository: which encoding navigates its tree and how dense that
+// encoding is (zero for the record backend, which spends whole words
+// per node).
+type RepoStructure struct {
+	Backend     string  `json:"backend"`
+	BitsPerNode float64 `json:"bits_per_node,omitempty"`
 }
 
-// Stats snapshots the pool.
+// PoolStats is a snapshot of the pool's counters.
+type PoolStats struct {
+	Capacity   int                      `json:"capacity"`
+	Resident   []string                 `json:"resident"`
+	Hits       int64                    `json:"hits"`
+	Misses     int64                    `json:"misses"`
+	Evictions  int64                    `json:"evictions"`
+	Structures map[string]RepoStructure `json:"structures,omitempty"`
+}
+
+// Stats snapshots the pool. Structure details cover repositories whose
+// load has completed; in-flight loads are skipped so a stats request
+// never blocks on repository I/O.
 func (p *Pool) Stats() PoolStats {
 	st := PoolStats{Resident: p.Resident()}
 	p.mu.Lock()
 	st.Capacity, st.Hits, st.Misses, st.Evictions = p.cap, p.hits, p.misses, p.evictions
+	ready := make([]*poolEntry, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*poolEntry)
+		select {
+		case <-e.ready:
+			if e.err == nil && e.db != nil {
+				ready = append(ready, e)
+			}
+		default:
+		}
+	}
 	p.mu.Unlock()
+	if len(ready) > 0 {
+		st.Structures = make(map[string]RepoStructure, len(ready))
+		for _, e := range ready {
+			st.Structures[e.name] = RepoStructure{
+				Backend:     e.db.StructureKind(),
+				BitsPerNode: e.db.StructureBitsPerNode(),
+			}
+		}
+	}
 	return st
 }

@@ -279,6 +279,16 @@ func TestServerReposStatsHealthMetrics(t *testing.T) {
 	if stats.Counters.QueriesTotal != 2 || stats.PlanCache.Hits != 1 || stats.Pool.Hits != 1 {
 		t.Fatalf("stats = %+v", stats)
 	}
+	ps, ok := stats.Pool.Structures["people"]
+	if !ok {
+		t.Fatalf("stats missing structure info for resident repo: %+v", stats.Pool)
+	}
+	if ps.Backend != "succinct" && ps.Backend != "records" {
+		t.Fatalf("structure backend = %q", ps.Backend)
+	}
+	if ps.Backend == "succinct" && (ps.BitsPerNode <= 0 || ps.BitsPerNode > 64) {
+		t.Fatalf("bits/node = %v", ps.BitsPerNode)
+	}
 
 	metrics := get("/metrics")
 	for _, want := range []string{

@@ -133,13 +133,19 @@ func newSet(man *Manifest, stores []*storage.Store) (*Set, error) {
 // sit at the partition level) whose level equals the partition level,
 // in document order.
 func subtreeTable(st *storage.Store, level int) []span {
-	var out []span
+	var roots []storage.NodeID
 	st.ScanNodes(func(id storage.NodeID, lvl uint16) {
 		if int(lvl) != level || st.IsAttr(id) {
 			return
 		}
-		out = append(out, span{start: id, end: st.SubtreeEnd(id)})
+		roots = append(roots, id)
 	})
+	ends := make([]storage.NodeID, len(roots))
+	st.SubtreeEndBulk(roots, ends)
+	out := make([]span, len(roots))
+	for i, id := range roots {
+		out[i] = span{start: id, end: ends[i]}
+	}
 	return out
 }
 

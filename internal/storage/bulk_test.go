@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xquec/internal/datagen"
+)
+
+// The bulk kernels must agree with the scalar accessors element-for-
+// element on every backend; the scalar succinct path is itself pinned
+// against the record array elsewhere, so the chain roots in one oracle.
+
+// bulkTestStores builds one store per backend per document shape:
+// XMark (shallow, bushy) and DeepTree (long recursive spine), the two
+// shapes that stress different parts of the BP machinery.
+func bulkTestStores(t testing.TB) map[string]*Store {
+	t.Helper()
+	docs := map[string][]byte{
+		"xmark": datagen.XMark(datagen.XMarkConfig{Scale: 0.02, Seed: 7}),
+		"deep":  datagen.DeepTree(datagen.DeepTreeConfig{Depth: 700, Fanout: 3, Seed: 7}),
+	}
+	out := map[string]*Store{}
+	for shape, doc := range docs {
+		for _, kind := range []StructureKind{StructRecords, StructSuccinct} {
+			s, err := Load(doc, LoadOptions{Structure: kind})
+			if err != nil {
+				t.Fatalf("%s: %v", shape, err)
+			}
+			name := shape + "/records"
+			if kind == StructSuccinct {
+				name = shape + "/succinct"
+			}
+			out[name] = s
+		}
+	}
+	return out
+}
+
+// ascendingSubset returns a random strictly ascending ID subset — the
+// NodeSet invariant the bulk kernels require.
+func ascendingSubset(rng *rand.Rand, n int, density float64) []NodeID {
+	var ids []NodeID
+	for id := 1; id <= n; id++ {
+		if rng.Float64() < density {
+			ids = append(ids, NodeID(id))
+		}
+	}
+	return ids
+}
+
+func checkBulkAgainstScalar(t *testing.T, s *Store, ids []NodeID) {
+	t.Helper()
+	n := len(ids)
+	pars := make([]NodeID, n)
+	ends := make([]NodeID, n)
+	levels := make([]uint16, n)
+	s.ParentBulk(ids, pars)
+	s.SubtreeEndBulk(ids, ends)
+	s.LevelBulk(ids, levels)
+	for i, id := range ids {
+		if want := s.Parent(id); pars[i] != want {
+			t.Fatalf("ParentBulk(%d) = %d, scalar Parent = %d", id, pars[i], want)
+		}
+		if want := s.SubtreeEnd(id); ends[i] != want {
+			t.Fatalf("SubtreeEndBulk(%d) = %d, scalar SubtreeEnd = %d", id, ends[i], want)
+		}
+		if want := s.LevelOf(id); levels[i] != want {
+			t.Fatalf("LevelBulk(%d) = %d, scalar LevelOf = %d", id, levels[i], want)
+		}
+	}
+}
+
+// TestBulkKernelsMatchScalar pins the bulk kernels against the scalar
+// accessors over random subsets at several densities (dense subsets
+// exercise the sequential cursor walk, sparse ones the re-seed path)
+// on both document shapes and both backends.
+func TestBulkKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for name, s := range bulkTestStores(t) {
+		t.Run(name, func(t *testing.T) {
+			n := s.NumNodes()
+			for _, density := range []float64{1, 0.25, 0.01} {
+				ids := ascendingSubset(rng, n, density)
+				if len(ids) == 0 {
+					continue
+				}
+				checkBulkAgainstScalar(t, s, ids)
+			}
+			// Singletons and the extremes.
+			checkBulkAgainstScalar(t, s, []NodeID{1})
+			checkBulkAgainstScalar(t, s, []NodeID{NodeID(n)})
+			checkBulkAgainstScalar(t, s, []NodeID{1, NodeID(n)})
+		})
+	}
+}
+
+// TestKidsScanMatchesRecords pins the succinct Kids iteration (which
+// dispatches between the word-at-a-time subtree scan and the skip
+// walk by subtree size) against the record backend's child lists.
+func TestKidsScanMatchesRecords(t *testing.T) {
+	stores := bulkTestStores(t)
+	for _, shape := range []string{"xmark", "deep"} {
+		rec, suc := stores[shape+"/records"], stores[shape+"/succinct"]
+		for id := NodeID(1); id <= NodeID(rec.NumNodes()); id++ {
+			var a, b []string
+			for k := range rec.Kids(id) {
+				a = append(a, fmt.Sprint(k.ID, k.Val))
+			}
+			for k := range suc.Kids(id) {
+				b = append(b, fmt.Sprint(k.ID, k.Val))
+			}
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("%s: Kids(%d) differs: records %v, succinct %v", shape, id, a, b)
+			}
+		}
+	}
+}
+
+// FuzzBulkNavigation drives the bulk kernels with fuzzer-chosen tree
+// shapes and subset seeds, comparing against the scalar accessors.
+func FuzzBulkNavigation(f *testing.F) {
+	f.Add(int64(1), 60, 2, 0.5)
+	f.Add(int64(2), 900, 0, 0.1)
+	f.Add(int64(3), 5, 8, 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, depth, fanout int, density float64) {
+		if depth < 1 || depth > 2000 || fanout < 0 || fanout > 8 {
+			t.Skip()
+		}
+		if density < 0 || density > 1 {
+			t.Skip()
+		}
+		doc := datagen.DeepTree(datagen.DeepTreeConfig{Depth: depth, Fanout: fanout, Seed: seed})
+		s, err := Load(doc, LoadOptions{Structure: StructSuccinct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		ids := ascendingSubset(rng, s.NumNodes(), density)
+		if len(ids) == 0 {
+			t.Skip()
+		}
+		checkBulkAgainstScalar(t, s, ids)
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"xquec/internal/btree"
 	"xquec/internal/compress"
 	"xquec/internal/compress/blob"
+	"xquec/internal/succinct"
 )
 
 // Repository file magics. Version 3 replaced the per-node record
@@ -52,6 +53,19 @@ func (s *Store) AppendBinary(dst []byte) []byte {
 	}
 	for _, vi := range a.valIdx {
 		tree = compress.AppendUvarint(tree, uint64(vi))
+	}
+	// Shortcut directories (trailing, so files written before they
+	// existed still load — the reader rebuilds when the section is
+	// absent). They are a pure function of the paren bits, which keeps
+	// the bytes backend-independent.
+	excBase, anc := a.excBase, a.anc
+	if excBase == nil {
+		excBase, anc = succinct.BuildDirs(a.parens, a.nParens)
+	}
+	tree = compress.AppendUvarint(tree, uint64(len(excBase)))
+	for i := range excBase {
+		tree = compress.AppendUvarint(tree, uint64(excBase[i]))
+		tree = compress.AppendUvarint(tree, uint64(anc[i]+1))
 	}
 	dst = compress.AppendBytes(dst, blob.Compress(nil, tree))
 	// Whole-file checksum: cheap end-to-end corruption detection for the
@@ -419,6 +433,34 @@ func (s *Store) loadTreeV3(r *reader) error {
 		}
 		a.valCont[i] = -1 // resolved by deriveFromSuccinct
 		a.valIdx[i] = int32(v)
+	}
+	// Optional shortcut-directory section (absent in files written
+	// before it existed; build() then re-derives the directories).
+	if r.pos < len(r.data) {
+		nBlocks, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if nBlocks > uint64(len(r.data)) {
+			return fmt.Errorf("storage: implausible directory block count %d", nBlocks)
+		}
+		a.excBase = make([]int32, nBlocks)
+		a.anc = make([]int32, nBlocks)
+		for i := range a.excBase {
+			e, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			p, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if e > uint64(nOpens) || p > nParens {
+				return fmt.Errorf("storage: implausible directory entry (%d, %d)", e, p)
+			}
+			a.excBase[i] = int32(e)
+			a.anc[i] = int32(p) - 1
+		}
 	}
 	t := a.build()
 	if t.isNode.Ones() != int(nNodes) || t.pv.Ones() != int(nOpens) {

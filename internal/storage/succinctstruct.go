@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"iter"
+	"math/bits"
 	"os"
 
 	"xquec/internal/succinct"
@@ -34,13 +35,17 @@ func (k StructureKind) String() string {
 	return "default"
 }
 
-// resolveStructure applies the environment default.
+// resolveStructure applies the environment default. Both spellings are
+// accepted explicitly; anything else falls through to the default.
 func resolveStructure(k StructureKind) StructureKind {
 	if k != StructDefault {
 		return k
 	}
-	if os.Getenv("XQUEC_STRUCT") == "records" {
+	switch os.Getenv("XQUEC_STRUCT") {
+	case "records":
 		return StructRecords
+	case "succinct":
+		return StructSuccinct
 	}
 	return StructSuccinct
 }
@@ -85,13 +90,25 @@ type succinctArrays struct {
 	tags    []uint16
 	valCont []int32
 	valIdx  []int32
+
+	// Optional shortcut directories (see succinct.BuildDirs). Nil means
+	// derive at build time; persisted blobs carry them so opening a
+	// repository skips the sequential pass.
+	excBase []int32
+	anc     []int32
 }
 
 // build freezes the arrays into a navigable structure.
 func (a *succinctArrays) build() *SuccinctStructure {
 	pv := succinct.NewBitvector(a.parens, a.nParens)
+	var bp *succinct.BP
+	if a.excBase != nil {
+		bp = succinct.NewBPWithDirs(pv, a.excBase, a.anc)
+	} else {
+		bp = succinct.NewBP(pv)
+	}
 	return &SuccinctStructure{
-		bp:      succinct.NewBP(pv),
+		bp:      bp,
 		pv:      pv,
 		isNode:  succinct.NewBitvector(a.marks, a.nOpens),
 		tags:    a.tags,
@@ -102,6 +119,7 @@ func (a *succinctArrays) build() *SuccinctStructure {
 
 // arrays returns the raw encoding (shared backing, do not mutate).
 func (t *SuccinctStructure) arrays() *succinctArrays {
+	excBase, anc := t.bp.Directories()
 	return &succinctArrays{
 		parens:  t.pv.Words(),
 		nParens: t.pv.Len(),
@@ -110,6 +128,8 @@ func (t *SuccinctStructure) arrays() *succinctArrays {
 		tags:    t.tags,
 		valCont: t.valCont,
 		valIdx:  t.valIdx,
+		excBase: excBase,
+		anc:     anc,
 	}
 }
 
@@ -156,14 +176,27 @@ func (t *SuccinctStructure) levelOf(id NodeID) uint16 {
 	return uint16(2*(k+1) - (q + 1))
 }
 
-// kids yields the node's children in document order. The open ordinal
-// is tracked incrementally — a skipped kid subtree spanning parens
+// kidsScanBits bounds the subtree size (in parens) below which kids
+// switches from the per-kid skip loop to one sequential scan of the
+// subtree's open bits. Small subtrees — the overwhelming case — then
+// cost a couple of ns per open with no per-kid rank or FindClose.
+const kidsScanBits = 2048
+
+// kids yields the node's children in document order. Small subtrees
+// take kidsScan; larger ones the skip loop, where the open ordinal is
+// tracked incrementally — a skipped kid subtree spanning parens
 // [q, c] holds exactly (c-q+1)/2 opens — so each kid costs one
 // isNode rank plus one FindClose, with no paren ranks at all.
 func (t *SuccinctStructure) kids(id NodeID) iter.Seq[Kid] {
 	return func(yield func(Kid) bool) {
 		k := t.isNode.Select1(int(id) - 1) // open ordinal of id itself
-		q := t.pv.Select1(k) + 1
+		q := t.pv.Select1(k)
+		c := t.bp.FindCloseAt(q, 2*(k+1)-(q+1))
+		if c-q <= kidsScanBits {
+			t.kidsScan(id, k, q, c, yield)
+			return
+		}
+		q++
 		ord := k + 1
 		for t.pv.Get(q) {
 			if t.isNode.Get(ord) {
@@ -185,6 +218,55 @@ func (t *SuccinctStructure) kids(id NodeID) iter.Seq[Kid] {
 	}
 }
 
+// kidsScan yields the children of the node with open ordinal k at
+// paren position q and close at c by scanning the subtree's open bits
+// word-at-a-time. No close tracking or per-kid rank is needed: the
+// excess at the ord-th open at position p is 2*(ord+1)-(p+1), so a
+// child is any open one level below the node, and pre-order ID
+// consecutivity makes the running counts of marked/unmarked opens the
+// next NodeID and text-leaf ordinal.
+func (t *SuccinctStructure) kidsScan(id NodeID, k, q, c int, yield func(Kid) bool) {
+	words := t.pv.Words()
+	marks := t.isNode.Words()
+	ord := k + 1
+	kid := int(id)        // last NodeID assigned
+	vord := k + 1 - kid   // unmarked opens before ordinal k+1
+	target := 2*(k+1) - q // child excess: excess(q)+1
+	w := (q + 1) >> 6
+	word := words[w] & (^uint64(0) << uint((q+1)&63))
+	for {
+		for word != 0 {
+			p := w<<6 + bits.TrailingZeros64(word)
+			if p >= c {
+				return
+			}
+			word &= word - 1
+			marked := marks[ord>>6]>>(uint(ord)&63)&1 == 1
+			if marked {
+				kid++
+			}
+			if 2*(ord+1)-(p+1) == target {
+				if marked {
+					if !yield(Kid{ID: NodeID(kid)}) {
+						return
+					}
+				} else if !yield(Kid{Val: ValueRef{Container: t.valCont[vord], Index: t.valIdx[vord]}}) {
+					return
+				}
+			}
+			if !marked {
+				vord++
+			}
+			ord++
+		}
+		w++
+		if w<<6 >= c {
+			return
+		}
+		word = words[w]
+	}
+}
+
 // hasText reports whether the node has at least one immediate text
 // value (for attribute nodes: the attribute value).
 func (t *SuccinctStructure) hasText(id NodeID) bool {
@@ -202,20 +284,24 @@ func (t *SuccinctStructure) hasText(id NodeID) bool {
 	return false
 }
 
-// scanNodes calls fn for every node in pre-order with its depth.
+// scanNodes calls fn for every node in pre-order with its depth. The
+// sweep walks the paren words directly, visiting only the set bits:
+// the depth at an open needs no close tracking, since the excess at
+// the k-th open paren at position p is 2*(k+1)-(p+1).
 func (t *SuccinctStructure) scanNodes(fn func(id NodeID, level uint16)) {
-	depth, ord, id := 0, 0, 0
-	n := t.pv.Len()
-	for p := 0; p < n; p++ {
-		if t.pv.Get(p) {
-			depth++
-			if t.isNode.Get(ord) {
+	words := t.pv.Words()
+	marks := t.isNode.Words()
+	ord, id := 0, 0
+	for w, word := range words {
+		base := w << 6
+		for word != 0 {
+			p := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if marks[ord>>6]>>(uint(ord)&63)&1 == 1 {
 				id++
-				fn(NodeID(id), uint16(depth))
+				fn(NodeID(id), uint16(2*(ord+1)-(p+1)))
 			}
 			ord++
-		} else {
-			depth--
 		}
 	}
 }

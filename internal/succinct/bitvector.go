@@ -207,16 +207,52 @@ func (v *Bitvector) Select1(k int) int {
 	}
 }
 
-// selectWord returns the position of the r-th (0-based) set bit of w
-// by clearing the lowest set bit r times.
-func selectWord(w uint64, r int) int {
-	for ; r > 0; r-- {
-		w &= w - 1
+// selByte[b][r] is the position of the r-th (0-based) set bit of byte
+// b (8 when b has fewer than r+1 set bits).
+var selByte [256][8]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		r := 0
+		for j := 0; j < 8; j++ {
+			selByte[b][j] = 8
+		}
+		for j := 0; j < 8; j++ {
+			if b>>uint(j)&1 == 1 {
+				selByte[b][r] = uint8(j)
+				r++
+			}
+		}
 	}
-	if w == 0 {
+}
+
+// selectWord returns the position of the r-th (0-based) set bit of w
+// (-1 when w has fewer than r+1 set bits). Branchless byte narrowing
+// in the style of Vigna's select-in-word: a SWAR popcount left as
+// per-byte counts, a multiply that turns them into per-byte prefix
+// sums, and a parallel compare that counts the bytes wholly before the
+// target; a table lookup finishes inside the byte.
+func selectWord(w uint64, r int) int {
+	const (
+		l8 = 0x0101010101010101
+		h8 = 0x8080808080808080
+	)
+	s := w - (w>>1)&0x5555555555555555
+	s = s&0x3333333333333333 + (s>>2)&0x3333333333333333
+	s = (s + s>>4) & 0x0f0f0f0f0f0f0f0f
+	s *= l8 // byte j = popcount of bytes 0..j
+	// High bit of byte j set iff prefix sum >= r+1 (no inter-byte
+	// borrow: every byte of s|h8 is >= 0x80 and every subtrahend byte
+	// is < 0x80). The clear high bits count the bytes whose prefix is
+	// still <= r — exactly the index of the byte holding the target.
+	t := (s | h8) - uint64(r+1)*l8
+	byteIdx := 8 - bits.OnesCount64(t&h8)
+	if byteIdx == 8 {
 		return -1
 	}
-	return bits.TrailingZeros64(w)
+	// s<<8 aligns byte j with the prefix sum of bytes 0..j-1.
+	byteRank := r - int((s<<8)>>uint(byteIdx*8)&0xff)
+	return byteIdx*8 + int(selByte[byte(w>>uint(byteIdx*8))][byteRank])
 }
 
 // FootprintBytes returns the resident size of the bitvector including

@@ -900,6 +900,24 @@ func (db *Database) StructureKind() string {
 	return db.memberStores()[0].StructureKind().String()
 }
 
+// StructureBitsPerNode reports the density of the succinct structure
+// encoding — paren bits, rank/select and shortcut directories, and
+// node marks — aggregated over all member repositories, in bits per
+// tree node (elements + attributes + text values). Zero when the
+// record backend is resident.
+func (db *Database) StructureBitsPerNode() float64 {
+	bits, nodes := 0, 0
+	for _, s := range db.memberStores() {
+		bp, marks, n := s.StructureStats()
+		bits += bp + marks
+		nodes += n
+	}
+	if nodes == 0 {
+		return 0
+	}
+	return float64(bits) / float64(nodes)
+}
+
 // Stats summarizes the database; for a sharded or segmented database
 // the sizes and counts aggregate over all member repositories (spine
 // duplication means a shard set carries slightly more nodes than the
